@@ -1,0 +1,229 @@
+// Package repro's benchmark harness regenerates every table and finding
+// of the paper's evaluation section, one benchmark per artifact:
+//
+//	BenchmarkTableICloudDevices     — Table I  (33 cloud devices)
+//	BenchmarkTableIILocalDevices    — Table II (17 HomeKit accessories)
+//	BenchmarkTableIIIPoCCases       — Table III (11 PoC attacks)
+//	BenchmarkVerificationTest       — Section VI-C verification (100%)
+//	BenchmarkFinding1OnDemand       — Finding 1
+//	BenchmarkFinding2HalfOpen       — Finding 2
+//	BenchmarkFinding3Unidirectional — Finding 3
+//	BenchmarkDefenseAckTimeout      — Section VII-A sweep
+//	BenchmarkDefenseTimestamp       — Section VII-B evaluation
+//	BenchmarkAblationMargin         — release-margin design sweep
+//	BenchmarkAblationBoundary       — detection-cliff sweep
+//
+// Each benchmark reports domain metrics alongside timing: achieved delay
+// windows, success fractions, residual windows. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The rendered paper-style tables come from cmd/phantomlab; the benchmarks
+// exist to regenerate (and time) the underlying data.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func BenchmarkTableICloudDevices(b *testing.B) {
+	var rows []experiment.TableRow
+	for i := 0; i < b.N; i++ {
+		rows = e1Rows(int64(i))
+	}
+	reportWindowStats(b, rows)
+}
+
+func e1Rows(seed int64) []experiment.TableRow {
+	return experiment.RunTable1(experiment.TableOptions{Seed: 41 + seed, Trials: 2})
+}
+
+func BenchmarkTableIILocalDevices(b *testing.B) {
+	var rows []experiment.TableRow
+	for i := 0; i < b.N; i++ {
+		rows = experiment.RunTable2(experiment.TableOptions{
+			Seed: 42 + int64(i), Trials: 1, UnboundedDemo: 2 * time.Hour,
+		})
+	}
+	reportWindowStats(b, rows)
+}
+
+func reportWindowStats(b *testing.B, rows []experiment.TableRow) {
+	b.Helper()
+	var sum float64
+	verified, stealthy, unbounded := 0, 0, 0
+	for _, r := range rows {
+		if r.Err != nil {
+			b.Fatalf("%s: %v", r.Label, r.Err)
+		}
+		sum += r.EventDelayAchieved.Seconds()
+		if r.ParametersVerified {
+			verified++
+		}
+		if r.StealthOK {
+			stealthy++
+		}
+		if r.EventDelayUnbounded {
+			unbounded++
+		}
+	}
+	n := float64(len(rows))
+	b.ReportMetric(sum/n, "eDelay-s/device")
+	b.ReportMetric(float64(verified)/n, "verified-frac")
+	b.ReportMetric(float64(stealthy)/n, "stealth-frac")
+	b.ReportMetric(float64(unbounded), "unbounded-devices")
+}
+
+func BenchmarkTableIIIPoCCases(b *testing.B) {
+	var results []experiment.CaseResult
+	for i := 0; i < b.N; i++ {
+		results = experiment.RunCases(experiment.Table3Cases(), 500+int64(i))
+	}
+	succeeded := 0
+	for _, r := range results {
+		if r.Err != nil {
+			b.Fatalf("case %d: %v", r.Case.ID, r.Err)
+		}
+		if r.Succeeded() {
+			succeeded++
+		}
+	}
+	b.ReportMetric(float64(succeeded), "cases-succeeded")
+	b.ReportMetric(float64(len(results)), "cases-total")
+}
+
+func BenchmarkVerificationTest(b *testing.B) {
+	labels := []string{"C1", "L2", "CM1", "K2", "M7", "A1"}
+	var results []experiment.VerifyResult
+	for i := 0; i < b.N; i++ {
+		results = experiment.RunVerification(labels, experiment.VerifyOptions{
+			Seed: 600 + int64(i), Trials: 3,
+		})
+	}
+	perfect := 0
+	for _, r := range results {
+		if r.Err != nil {
+			b.Fatalf("%s: %v", r.Label, r.Err)
+		}
+		if r.Perfect() {
+			perfect++
+		}
+	}
+	b.ReportMetric(float64(perfect)/float64(len(results)), "perfect-frac")
+}
+
+func benchFinding(b *testing.B, id int) {
+	b.Helper()
+	holds := false
+	for i := 0; i < b.N; i++ {
+		results := experiment.RunFindings(700 + int64(i)*3)
+		r := results[id-1]
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+		holds = r.Holds
+	}
+	v := 0.0
+	if holds {
+		v = 1
+	}
+	b.ReportMetric(v, "holds")
+}
+
+func BenchmarkFinding1OnDemand(b *testing.B)       { benchFinding(b, 1) }
+func BenchmarkFinding2HalfOpen(b *testing.B)       { benchFinding(b, 2) }
+func BenchmarkFinding3Unidirectional(b *testing.B) { benchFinding(b, 3) }
+
+func BenchmarkDefenseAckTimeout(b *testing.B) {
+	timeouts := []time.Duration{20 * time.Second, 10 * time.Second, 5 * time.Second}
+	var results []experiment.AckDefenseResult
+	for i := 0; i < b.N; i++ {
+		results = experiment.RunAckTimeoutDefense("C2", timeouts, 800+int64(i))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	b.ReportMetric(results[0].AchievedDelay.Seconds(), "stock-window-s")
+	b.ReportMetric(results[len(results)-1].AchievedDelay.Seconds(), "hardened-window-s")
+	b.ReportMetric(float64(results[len(results)-1].TrafficPerHour)/float64(results[0].TrafficPerHour), "traffic-blowup")
+}
+
+func BenchmarkDefenseTimestamp(b *testing.B) {
+	var res experiment.TimestampDefenseResult
+	for i := 0; i < b.N; i++ {
+		res = experiment.RunTimestampDefense(820 + int64(i))
+	}
+	if res.Err != nil {
+		b.Fatal(res.Err)
+	}
+	metric := func(ok bool) float64 {
+		if ok {
+			return 1
+		}
+		return 0
+	}
+	b.ReportMetric(metric(res.TriggerDelayBlocked), "trigger-blocked")
+	b.ReportMetric(metric(res.ConditionDelayStillWorks), "condition-bypass")
+}
+
+// BenchmarkSimulatedHomeHour measures raw simulator throughput: one hour
+// of a ten-device home with keep-alives, per iteration.
+func BenchmarkSimulatedHomeHour(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := experiment.NewTestbed(experiment.TestbedConfig{
+			Seed:    int64(i),
+			Devices: []string{"C1", "M1", "L2", "C2", "M3", "P2", "CM1", "K2", "T1", "SD1"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb.Start()
+		tb.Clock.RunFor(time.Hour)
+		if tb.TotalAlarmCount() != 0 {
+			b.Fatalf("idle hour raised %d alarms", tb.TotalAlarmCount())
+		}
+	}
+}
+
+// BenchmarkAblationMargin regenerates the release-margin sweep: the design
+// parameter trading stolen delay against stealth.
+func BenchmarkAblationMargin(b *testing.B) {
+	margins := []time.Duration{time.Second, 2 * time.Second, 5 * time.Second, 10 * time.Second}
+	var points []experiment.MarginPoint
+	for i := 0; i < b.N; i++ {
+		points = experiment.RunMarginAblation("C1", margins, 2, 900+int64(i))
+	}
+	for _, p := range points {
+		if p.Err != nil {
+			b.Fatal(p.Err)
+		}
+	}
+	b.ReportMetric(points[0].MeanDelay.Seconds(), "tight-margin-delay-s")
+	b.ReportMetric(points[len(points)-1].MeanDelay.Seconds(), "wide-margin-delay-s")
+}
+
+// BenchmarkAblationBoundary regenerates the detection-cliff sweep around
+// the SmartThings 47s window edge.
+func BenchmarkAblationBoundary(b *testing.B) {
+	holds := []time.Duration{40 * time.Second, 45 * time.Second, 50 * time.Second, 60 * time.Second}
+	var points []experiment.BoundaryPoint
+	for i := 0; i < b.N; i++ {
+		points = experiment.RunDetectionBoundary("C1", holds, 910+int64(i))
+	}
+	survived := 0
+	for _, p := range points {
+		if p.Err != nil {
+			b.Fatal(p.Err)
+		}
+		if !p.SessionDied {
+			survived++
+		}
+	}
+	b.ReportMetric(float64(survived), "holds-inside-window")
+	b.ReportMetric(float64(len(points)-survived), "holds-past-cliff")
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("no case should fail")
+	}
+	if err := run([]string{"0"}); err == nil {
+		t.Fatal("case 0 should fail")
+	}
+	if err := run([]string{"12"}); err == nil {
+		t.Fatal("case 12 should fail")
+	}
+	if err := run([]string{"nope"}); err == nil {
+		t.Fatal("non-numeric case should fail")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCaseTen(t *testing.T) {
+	if err := run([]string{"10"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("no label should fail")
+	}
+	if err := run([]string{"ZZTOP"}); err == nil {
+		t.Fatal("unknown label should fail")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunProfilesADevice(t *testing.T) {
+	if err := run([]string{"-trials", "1", "K2"}); err != nil {
+		t.Fatal(err)
+	}
+}

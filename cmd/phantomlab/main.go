@@ -1,0 +1,135 @@
+// Command phantomlab reproduces the paper's evaluation: the Table I/II
+// timeout measurements, the Table III proof-of-concept attacks, the
+// verification test, the three session-behaviour findings, and the
+// countermeasure studies.
+//
+// Usage:
+//
+//	phantomlab [flags] <table1|table2|table3|verify|findings|defense|recon|ablation|all>
+//
+// Flags:
+//
+//	-seed N      deterministic seed (default 1)
+//	-trials N    measurement trials per message class (default 3; paper: 20)
+//	-recovery D  inter-trial recovery (default 30s; paper: 2m)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "phantomlab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("phantomlab", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	trials := fs.Int("trials", 3, "trials per message class (paper uses 20)")
+	recovery := fs.Duration("recovery", 30*time.Second, "inter-trial recovery (paper uses 2m)")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of rendered tables (table1/table2/table3)")
+	parallel := fs.Int("parallel", 0, "measure tables with N concurrent testbeds (0 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected one command: table1|table2|table3|verify|findings|defense|recon|ablation|all")
+	}
+	cmd := fs.Arg(0)
+
+	opts := experiment.TableOptions{Seed: *seed, Trials: *trials, Recovery: *recovery}
+	out := os.Stdout
+
+	runOne := func(name string) error {
+		switch name {
+		case "table1":
+			rows := runTable(cloudLabels(), opts, *parallel)
+			if *jsonOut {
+				return experiment.WriteRowsJSON(out, rows)
+			}
+			experiment.FormatRows(out, "Table I — cloud-connected devices (33)", rows)
+		case "table2":
+			t2 := opts
+			t2.UnboundedDemo = 2 * time.Hour
+			rows := runTable(localLabels(), t2, *parallel)
+			if *jsonOut {
+				return experiment.WriteRowsJSON(out, rows)
+			}
+			experiment.FormatRows(out, "Table II — HomeKit accessories on a local hub (17)", rows)
+		case "table3":
+			results := experiment.RunCases(experiment.Table3Cases(), *seed+500)
+			if *jsonOut {
+				return experiment.WriteCasesJSON(out, results)
+			}
+			experiment.FormatCaseResults(out, results)
+		case "verify":
+			labels := []string{"C1", "L2", "CM1", "K2", "M7", "A1"}
+			results := experiment.RunVerification(labels, experiment.VerifyOptions{Seed: *seed + 600, Trials: *trials})
+			experiment.FormatVerifyResults(out, results)
+		case "findings":
+			experiment.FormatFindings(out, experiment.RunFindings(*seed+700))
+		case "defense":
+			ack := experiment.RunAckTimeoutDefense("C2",
+				[]time.Duration{20 * time.Second, 10 * time.Second, 5 * time.Second}, *seed+800)
+			ts := experiment.RunTimestampDefense(*seed + 820)
+			experiment.FormatDefenseResults(out, ack, ts)
+		case "recon":
+			labels := []string{"C1", "M1", "L2", "M2", "C2", "M3", "LK1", "P2", "CM1", "K2", "SD1", "P4"}
+			results := experiment.RunReconCoverage(labels, []int{3, 6, 10, 100}, *seed+1200)
+			experiment.FormatRecon(out, results)
+		case "ablation":
+			margins := experiment.RunMarginAblation("C1",
+				[]time.Duration{time.Second, 2 * time.Second, 5 * time.Second, 10 * time.Second}, *trials, *seed+900)
+			boundary := experiment.RunDetectionBoundary("C1",
+				[]time.Duration{40 * time.Second, 45 * time.Second, 50 * time.Second, 60 * time.Second}, *seed+910)
+			experiment.FormatAblation(out, margins, boundary)
+		default:
+			return fmt.Errorf("unknown command %q", name)
+		}
+		fmt.Fprintln(out)
+		return nil
+	}
+
+	if cmd == "all" {
+		for _, name := range []string{"table1", "table2", "table3", "verify", "findings", "defense", "recon", "ablation"} {
+			if err := runOne(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(cmd)
+}
+
+func runTable(labels []string, opts experiment.TableOptions, parallel int) []experiment.TableRow {
+	if parallel > 0 {
+		return experiment.RunTableParallel(labels, opts, parallel)
+	}
+	return experiment.RunTable(labels, opts)
+}
+
+func cloudLabels() []string {
+	var out []string
+	for _, p := range device.CloudProfiles() {
+		out = append(out, p.Label)
+	}
+	return out
+}
+
+func localLabels() []string {
+	var out []string
+	for _, p := range device.LocalProfiles() {
+		out = append(out, p.Label)
+	}
+	return out
+}

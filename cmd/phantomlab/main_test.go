@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("no command should fail")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown command should fail")
+	}
+	if err := run([]string{"-seed", "x", "table1"}); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}
+
+func TestRunFindingsCommand(t *testing.T) {
+	if err := run([]string{"-seed", "3", "findings"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerifyCommand(t *testing.T) {
+	if err := run([]string{"-seed", "3", "-trials", "1", "verify"}); err != nil {
+		t.Fatal(err)
+	}
+}

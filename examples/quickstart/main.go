@@ -1,0 +1,74 @@
+// Quickstart: build a simulated smart home, take a man-in-the-middle
+// position with one attacker device, and delay a sensor event by 25
+// seconds without tripping a single timer.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/rules"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A home with a Ring contact sensor (C2) behind its base station, and
+	// an automation server that pushes a notification when the door opens.
+	tb, err := experiment.NewTestbed(experiment.TestbedConfig{
+		Seed:    1,
+		Devices: []string{"C2"},
+	})
+	if err != nil {
+		return err
+	}
+	if err := tb.Integration.AddRule(rules.Rule{
+		Name:    "door-alert",
+		Trigger: rules.Trigger{Device: "C2", Attribute: "contact", Value: "open"},
+		Actions: []rules.Action{{Kind: rules.ActionNotify, Message: "front door opened"}},
+	}); err != nil {
+		return err
+	}
+
+	// The attacker: one compromised WiFi device on the same LAN. It ARP-
+	// poisons the base station and the router, splits the TCP connection,
+	// and relays everything transparently.
+	atk, err := tb.NewAttacker()
+	if err != nil {
+		return err
+	}
+	hijacker, err := tb.Hijack(atk, "C2")
+	if err != nil {
+		return err
+	}
+	tb.Start()
+	fmt.Println("home is up; the Ring base station's TLS session runs through the attacker")
+
+	// Arm the e-Delay primitive: hold the next contact event for 25s
+	// (inside Ring's 60s window), then release it in order.
+	hijacker.EDelay("C2", 25*time.Second)
+
+	openedAt := tb.Clock.Now()
+	if err := tb.Device("C2").TriggerEvent("contact", "open"); err != nil {
+		return err
+	}
+	fmt.Printf("[%6s] door physically opens\n", tb.Clock.Now())
+
+	tb.Clock.RunFor(time.Minute)
+
+	for _, n := range tb.Integration.Notifications() {
+		fmt.Printf("[%6s] user notified: %q (%.0fs after the door opened)\n",
+			n.At, n.Message, (n.At - openedAt).Seconds())
+	}
+	fmt.Printf("server-side alarms raised: %d\n", tb.TotalAlarmCount())
+	fmt.Println("the event arrived intact, late, and nobody noticed — that is the phantom delay")
+	return nil
+}

@@ -1,0 +1,221 @@
+// Package arp implements address resolution over netsim segments, including
+// the cache-poisoning behaviour the paper's attack model relies on: caches
+// accept unsolicited replies, so an attacker can redirect a victim's unicast
+// traffic through itself (Section III-B of the paper; the large-scale study
+// it cites found IoT devices widely vulnerable to exactly this).
+package arp
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"repro/internal/ipaddr"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+// Op distinguishes ARP packet kinds.
+type Op uint16
+
+// ARP operations, numbered as in RFC 826.
+const (
+	OpRequest Op = 1
+	OpReply   Op = 2
+)
+
+// Packet is an ARP request or reply.
+type Packet struct {
+	Op        Op
+	SenderMAC netsim.MAC
+	SenderIP  ipaddr.Addr
+	TargetMAC netsim.MAC
+	TargetIP  ipaddr.Addr
+}
+
+const packetLen = 2 + 6 + 4 + 6 + 4
+
+// Marshal encodes the packet for a frame payload.
+func (p Packet) Marshal() []byte {
+	b := make([]byte, packetLen)
+	binary.BigEndian.PutUint16(b[0:2], uint16(p.Op))
+	copy(b[2:8], p.SenderMAC[:])
+	sip := p.SenderIP.Bytes()
+	copy(b[8:12], sip[:])
+	copy(b[12:18], p.TargetMAC[:])
+	tip := p.TargetIP.Bytes()
+	copy(b[18:22], tip[:])
+	return b
+}
+
+// ErrShortPacket reports a truncated ARP payload.
+var ErrShortPacket = errors.New("arp: short packet")
+
+// Unmarshal decodes a frame payload into a Packet.
+func Unmarshal(b []byte) (Packet, error) {
+	if len(b) < packetLen {
+		return Packet{}, ErrShortPacket
+	}
+	var p Packet
+	p.Op = Op(binary.BigEndian.Uint16(b[0:2]))
+	copy(p.SenderMAC[:], b[2:8])
+	var sip, tip [4]byte
+	copy(sip[:], b[8:12])
+	p.SenderIP = ipaddr.FromBytes(sip)
+	copy(p.TargetMAC[:], b[12:18])
+	copy(tip[:], b[18:22])
+	p.TargetIP = ipaddr.FromBytes(tip)
+	return p, nil
+}
+
+// Config parameterises a Client.
+type Config struct {
+	// RequestTimeout bounds one resolution attempt. Default 1s.
+	RequestTimeout time.Duration
+	// MaxRetries is the number of re-requests before resolution fails.
+	// Default 2.
+	MaxRetries int
+}
+
+func (c *Config) fill() {
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = time.Second
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+}
+
+// Client resolves protocol addresses to MACs on one NIC and answers
+// requests for its own address. It deliberately reproduces the permissive
+// cache behaviour common in deployed stacks: any reply, solicited or not,
+// overwrites the cache entry for its sender.
+type Client struct {
+	clk     *simtime.Clock
+	nic     *netsim.NIC
+	self    ipaddr.Addr
+	cfg     Config
+	cache   map[ipaddr.Addr]netsim.MAC
+	pending map[ipaddr.Addr]*resolution
+}
+
+type resolution struct {
+	callbacks []func(netsim.MAC, bool)
+	retries   int
+	timer     *simtime.Timer
+}
+
+// NewClient creates an ARP client for a NIC bound to the given address.
+func NewClient(clk *simtime.Clock, nic *netsim.NIC, self ipaddr.Addr, cfg Config) *Client {
+	cfg.fill()
+	return &Client{
+		clk:     clk,
+		nic:     nic,
+		self:    self,
+		cfg:     cfg,
+		cache:   make(map[ipaddr.Addr]netsim.MAC),
+		pending: make(map[ipaddr.Addr]*resolution),
+	}
+}
+
+// Self returns the protocol address the client answers for.
+func (c *Client) Self() ipaddr.Addr { return c.self }
+
+// Lookup returns the cached MAC for addr, if any.
+func (c *Client) Lookup(addr ipaddr.Addr) (netsim.MAC, bool) {
+	m, ok := c.cache[addr]
+	return m, ok
+}
+
+// Resolve invokes done with the MAC for addr once known. The callback fires
+// immediately on a cache hit, otherwise after a request/reply exchange; it
+// receives ok=false if resolution times out.
+func (c *Client) Resolve(addr ipaddr.Addr, done func(netsim.MAC, bool)) {
+	if m, ok := c.cache[addr]; ok {
+		done(m, true)
+		return
+	}
+	if r, ok := c.pending[addr]; ok {
+		r.callbacks = append(r.callbacks, done)
+		return
+	}
+	r := &resolution{callbacks: []func(netsim.MAC, bool){done}}
+	c.pending[addr] = r
+	c.sendRequest(addr, r)
+}
+
+func (c *Client) sendRequest(addr ipaddr.Addr, r *resolution) {
+	c.nic.Send(netsim.Frame{
+		Dst:  netsim.BroadcastMAC,
+		Type: netsim.EtherTypeARP,
+		Payload: Packet{
+			Op:        OpRequest,
+			SenderMAC: c.nic.MAC(),
+			SenderIP:  c.self,
+			TargetIP:  addr,
+		}.Marshal(),
+	})
+	r.timer = c.clk.Schedule(c.cfg.RequestTimeout, func() {
+		if r.retries < c.cfg.MaxRetries {
+			r.retries++
+			c.sendRequest(addr, r)
+			return
+		}
+		delete(c.pending, addr)
+		for _, cb := range r.callbacks {
+			cb(netsim.MAC{}, false)
+		}
+	})
+}
+
+// Announce broadcasts a gratuitous reply advertising the client's own
+// binding, as hosts do when joining a network.
+func (c *Client) Announce() {
+	c.nic.Send(netsim.Frame{
+		Dst:  netsim.BroadcastMAC,
+		Type: netsim.EtherTypeARP,
+		Payload: Packet{
+			Op:        OpReply,
+			SenderMAC: c.nic.MAC(),
+			SenderIP:  c.self,
+			TargetMAC: netsim.BroadcastMAC,
+			TargetIP:  c.self,
+		}.Marshal(),
+	})
+}
+
+// HandleFrame processes an ARP frame received on the client's NIC. The
+// owner of the NIC handler (the IP stack) routes EtherTypeARP frames here.
+func (c *Client) HandleFrame(f netsim.Frame) {
+	p, err := Unmarshal(f.Payload)
+	if err != nil {
+		return
+	}
+	// Vulnerable-by-default cache update: learn the sender binding from any
+	// packet, including unsolicited replies. This is the poisoning surface.
+	if !p.SenderIP.IsZero() {
+		c.cache[p.SenderIP] = p.SenderMAC
+		if r, ok := c.pending[p.SenderIP]; ok {
+			delete(c.pending, p.SenderIP)
+			r.timer.Stop()
+			for _, cb := range r.callbacks {
+				cb(p.SenderMAC, true)
+			}
+		}
+	}
+	if p.Op == OpRequest && p.TargetIP == c.self {
+		c.nic.Send(netsim.Frame{
+			Dst:  p.SenderMAC,
+			Type: netsim.EtherTypeARP,
+			Payload: Packet{
+				Op:        OpReply,
+				SenderMAC: c.nic.MAC(),
+				SenderIP:  c.self,
+				TargetMAC: p.SenderMAC,
+				TargetIP:  p.SenderIP,
+			}.Marshal(),
+		})
+	}
+}

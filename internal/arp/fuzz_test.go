@@ -1,0 +1,19 @@
+package arp
+
+import "testing"
+
+// FuzzUnmarshal: arbitrary bytes must never panic the ARP decoder.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Packet{Op: OpRequest}.Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		round, err := Unmarshal(p.Marshal())
+		if err != nil || round != p {
+			t.Fatalf("round trip failed: %+v -> %+v (%v)", p, round, err)
+		}
+	})
+}

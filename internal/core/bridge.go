@@ -1,0 +1,255 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/sniff"
+	"repro/internal/tcpsim"
+	"repro/internal/tlssim"
+)
+
+// RecordInfo describes one TLS record crossing the bridge. The attacker
+// sees exactly this much: timing, direction, record type and cleartext
+// length — never plaintext.
+type RecordInfo struct {
+	At      simtime.Time
+	Dir     sniff.Direction
+	Type    tlssim.RecordType
+	WireLen int
+	// Index numbers records per direction, starting at 0.
+	Index int
+}
+
+// Decision is a policy verdict for one record.
+type Decision int
+
+// Decisions.
+const (
+	// Forward relays the record immediately.
+	Forward Decision = iota + 1
+	// Hold enqueues the record; every later record in the same direction
+	// is forced to queue behind it so that release preserves TLS order.
+	Hold
+)
+
+// Policy decides the fate of each record crossing a bridge. Policies run
+// only for records at the head of a flowing direction: once a direction
+// holds, ordering forces everything behind into the queue.
+type Policy func(*Bridge, RecordInfo) Decision
+
+// ForwardAll is the transparent relay policy.
+func ForwardAll(*Bridge, RecordInfo) Decision { return Forward }
+
+// Bridge is one split connection: the attacker terminates TCP with the
+// device (impersonating the server) and with the server (impersonating the
+// device), bridging TLS records between the two byte streams. Both kernels
+// see a perfectly healthy peer — ACKs are immediate — which is what keeps
+// every TCP-layer timer quiet during arbitrarily long holds.
+type Bridge struct {
+	clk     *simtime.Clock
+	devConn *tcpsim.Conn
+	srvConn *tcpsim.Conn
+	policy  *Policy
+	dirs    [2]*bridgeDir
+
+	devClosed   bool
+	srvClosed   bool
+	devClosedAt simtime.Time
+	srvClosedAt simtime.Time
+
+	// HoldDeviceClose prevents a device-side close from propagating to the
+	// server, keeping the server-side connection half-open (Finding 2).
+	HoldDeviceClose bool
+	// HoldServerClose is the mirror for server-side closes.
+	HoldServerClose bool
+
+	// OnRecord observes every record as it arrives (before the policy).
+	OnRecord func(RecordInfo)
+	// OnDeviceClosed fires when the device-side connection ends.
+	OnDeviceClosed func(error)
+	// OnServerClosed fires when the server-side connection ends.
+	OnServerClosed func(error)
+}
+
+type bridgeDir struct {
+	buf       []byte
+	queue     [][]byte
+	holding   bool
+	heldSince simtime.Time
+	index     int
+	forwarded int
+	held      int
+}
+
+// newBridge wires the two connections. srvConn may still be handshaking;
+// tcpsim queues writes until establishment.
+func newBridge(clk *simtime.Clock, devConn, srvConn *tcpsim.Conn, policy *Policy) *Bridge {
+	b := &Bridge{
+		clk:     clk,
+		devConn: devConn,
+		srvConn: srvConn,
+		policy:  policy,
+		dirs:    [2]*bridgeDir{{}, {}},
+	}
+	devConn.OnData = func(data []byte) { b.onData(sniff.DirClientToServer, data) }
+	srvConn.OnData = func(data []byte) { b.onData(sniff.DirServerToClient, data) }
+	devConn.OnClose = func(err error) {
+		if b.devClosed {
+			return
+		}
+		b.devClosed = true
+		b.devClosedAt = clk.Now()
+		if b.OnDeviceClosed != nil {
+			b.OnDeviceClosed(err)
+		}
+		// Propagate unless told to keep the server side half-open or there
+		// are still held records to deliver.
+		if !b.HoldDeviceClose && !b.dirs[0].holding && !b.srvClosed {
+			b.srvConn.Close()
+		}
+	}
+	srvConn.OnClose = func(err error) {
+		if b.srvClosed {
+			return
+		}
+		b.srvClosed = true
+		b.srvClosedAt = clk.Now()
+		if b.OnServerClosed != nil {
+			b.OnServerClosed(err)
+		}
+		if !b.HoldServerClose && !b.dirs[1].holding && !b.devClosed {
+			b.devConn.Close()
+		}
+	}
+	return b
+}
+
+// DeviceConn returns the device-facing connection.
+func (b *Bridge) DeviceConn() *tcpsim.Conn { return b.devConn }
+
+// ServerConn returns the server-facing connection.
+func (b *Bridge) ServerConn() *tcpsim.Conn { return b.srvConn }
+
+// DeviceClosed reports whether the device side has ended, and when.
+func (b *Bridge) DeviceClosed() (bool, simtime.Time) { return b.devClosed, b.devClosedAt }
+
+// ServerClosed reports whether the server side has ended, and when.
+func (b *Bridge) ServerClosed() (bool, simtime.Time) { return b.srvClosed, b.srvClosedAt }
+
+// Alive reports whether both sides are still open.
+func (b *Bridge) Alive() bool { return !b.devClosed && !b.srvClosed }
+
+func (b *Bridge) dir(d sniff.Direction) *bridgeDir { return b.dirs[d-1] }
+
+// HeldCount reports how many records are queued in a direction.
+func (b *Bridge) HeldCount(d sniff.Direction) int { return b.dir(d).held - b.releasedCount(d) }
+
+func (b *Bridge) releasedCount(d sniff.Direction) int {
+	return b.dir(d).held - len(b.dir(d).queue)
+}
+
+// Holding reports whether a direction is currently held, and since when.
+func (b *Bridge) Holding(d sniff.Direction) (bool, simtime.Time) {
+	st := b.dir(d)
+	return st.holding, st.heldSince
+}
+
+// ForwardedCount reports how many records flowed through a direction.
+func (b *Bridge) ForwardedCount(d sniff.Direction) int { return b.dir(d).forwarded }
+
+func (b *Bridge) onData(d sniff.Direction, data []byte) {
+	st := b.dir(d)
+	st.buf = append(st.buf, data...)
+	for len(st.buf) >= tlssim.HeaderLen {
+		n := int(st.buf[3])<<8 | int(st.buf[4])
+		total := tlssim.HeaderLen + n
+		if len(st.buf) < total {
+			return
+		}
+		rec := make([]byte, total)
+		copy(rec, st.buf[:total])
+		st.buf = st.buf[total:]
+		b.processRecord(d, st, rec)
+	}
+}
+
+func (b *Bridge) processRecord(d sniff.Direction, st *bridgeDir, rec []byte) {
+	info := RecordInfo{
+		At:      b.clk.Now(),
+		Dir:     d,
+		Type:    tlssim.RecordType(rec[0]),
+		WireLen: len(rec),
+		Index:   st.index,
+	}
+	st.index++
+	if b.OnRecord != nil {
+		b.OnRecord(info)
+	}
+	decision := Forward
+	if st.holding {
+		decision = Hold // ordering constraint: nothing overtakes a held record
+	} else if p := *b.policy; p != nil {
+		decision = p(b, info)
+	}
+	if decision == Hold {
+		if !st.holding {
+			st.holding = true
+			st.heldSince = b.clk.Now()
+		}
+		st.held++
+		st.queue = append(st.queue, rec)
+		return
+	}
+	st.forwarded++
+	b.send(d, rec)
+}
+
+// Release flushes every held record of a direction, in original order, and
+// lets the direction flow again. It returns how many records were
+// released. If the direction's outbound connection died while holding, the
+// records are lost (as the paper's on-demand discussion notes, the device
+// side may have long given up; delivery only needs the other side).
+func (b *Bridge) Release(d sniff.Direction) int {
+	st := b.dir(d)
+	n := len(st.queue)
+	for _, rec := range st.queue {
+		st.forwarded++
+		b.send(d, rec)
+	}
+	st.queue = nil
+	st.holding = false
+	// Close propagation after a hold is asymmetric. If the *device* died
+	// mid-hold, the stealthy move (Finding 2) is to leave the server side
+	// half-open: the device's quiet reconnection supersedes it and no
+	// offline alarm ever fires — so nothing is propagated here. If the
+	// *server* died mid-hold, hiding that from the device only zombifies
+	// its session (its messages would go nowhere), so the close flows on.
+	if d == sniff.DirServerToClient && b.srvClosed && !b.HoldServerClose && !b.devClosed {
+		b.devConn.Close()
+	}
+	return n
+}
+
+// ReleaseAfter schedules a Release of the direction after delay d.
+func (b *Bridge) ReleaseAfter(dir sniff.Direction, d time.Duration) *simtime.Timer {
+	return b.clk.Schedule(d, func() { b.Release(dir) })
+}
+
+// CloseServerSide ends the server-facing connection gracefully.
+func (b *Bridge) CloseServerSide() { b.srvConn.Close() }
+
+// CloseDeviceSide ends the device-facing connection gracefully.
+func (b *Bridge) CloseDeviceSide() { b.devConn.Close() }
+
+func (b *Bridge) send(d sniff.Direction, rec []byte) {
+	var conn *tcpsim.Conn
+	if d == sniff.DirClientToServer {
+		conn = b.srvConn
+	} else {
+		conn = b.devConn
+	}
+	// A dead outbound side drops the record; the stats still count it as
+	// forwarded so callers can detect loss via the connection state.
+	_ = conn.Send(rec)
+}

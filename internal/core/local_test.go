@@ -1,0 +1,126 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/rules"
+	"repro/internal/tlssim"
+)
+
+// TestLocalDeploymentDisabledExecution runs a Type-III attack in the
+// Figure 1(b) deployment: HomeKit accessories, rules on the local hub,
+// and an unbounded condition-event hold (Table II's "∞").
+func TestLocalDeploymentDisabledExecution(t *testing.T) {
+	tb, err := experiment.NewTestbed(experiment.TestbedConfig{
+		Seed:    1500,
+		Devices: []string{"A1", "A2", "A6"}, // contact, motion, bulb
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, err := tb.NewAttacker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each accessory has its own TCP session to the hub; hijack two.
+	hContact, err := tb.Hijack(atk, "A1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hMotion, err := tb.Hijack(atk, "A2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "When motion goes active, if the door is open, turn on the light."
+	if err := tb.LocalHub.AddRule(rules.Rule{
+		Name:      "light-path",
+		Trigger:   rules.Trigger{Device: "A2", Attribute: "motion", Value: "active"},
+		Condition: rules.Eq{Device: "A1", Attribute: "contact", Value: "open"},
+		Actions:   []rules.Action{{Kind: rules.ActionCommand, Device: "A6", Attribute: "switch", Value: "on"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tb.Start()
+	_ = tb.Device("A1").TriggerEvent("contact", "closed")
+	_ = tb.Device("A6").TriggerEvent("switch", "off")
+	tb.Clock.RunFor(2 * time.Second)
+
+	// Hold the door-open event until after the motion trigger has passed.
+	core.DisabledExecution(hContact, "A1", hMotion, "A2", 3*time.Second)
+
+	_ = tb.Device("A1").TriggerEvent("contact", "open")
+	tb.Clock.RunFor(4 * time.Second)
+	_ = tb.Device("A2").TriggerEvent("motion", "active")
+	tb.Clock.RunFor(time.Minute)
+
+	if got := tb.Device("A6").State("switch"); got == "on" {
+		t.Fatal("rule fired; the attack should have disabled it")
+	}
+	if n := len(tb.LocalHub.Alarms()); n != 0 {
+		t.Fatalf("hub alarms = %d", n)
+	}
+	// The held event eventually landed (stale) without any fuss.
+	found := false
+	for _, ev := range tb.LocalHub.Events() {
+		if ev.Device == "A1" && ev.Value == "open" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("held event never delivered")
+	}
+}
+
+// TestForgeryContrastsWithDelay reproduces Clarification I end-to-end: the
+// same man-in-the-middle position that delays records silently CANNOT
+// forge them — an injected fake record kills the session loudly, while a
+// 30-second hold changes nothing.
+func TestForgeryContrastsWithDelay(t *testing.T) {
+	tb, _, h := hijackedHome(t, "C2", "C2")
+	b, ok := h.CurrentBridge()
+	if !ok {
+		t.Fatal("no bridge")
+	}
+
+	// Phase 1: a long hold. Nothing notices.
+	op := h.EDelay("C2", 30*time.Second)
+	if err := tb.Device("C2").TriggerEvent("contact", "open"); err != nil {
+		t.Fatal(err)
+	}
+	tb.Clock.RunFor(time.Minute)
+	if !op.Released() || len(tb.Integration.Events()) != 1 {
+		t.Fatal("delay phase failed")
+	}
+	if tb.TotalAlarmCount() != 0 {
+		t.Fatal("delay phase raised alarms")
+	}
+	if !b.Alive() {
+		t.Fatal("bridge should survive the delay")
+	}
+
+	// Phase 2: the attacker tries to forge an event toward the server. The
+	// fake record has no valid AEAD tag; the server's TLS layer raises an
+	// alert and tears the session down — detection, immediately.
+	forged := make([]byte, 5+50)
+	forged[0] = byte(tlssim.RecordApplication)
+	forged[1], forged[2] = 0x03, 0x03
+	forged[3], forged[4] = 0, 50
+	if err := b.ServerConn().Send(forged); err != nil {
+		t.Fatal(err)
+	}
+	tb.Clock.RunFor(10 * time.Second)
+	if closed, _ := b.ServerClosed(); !closed {
+		t.Fatal("forgery should have killed the server side")
+	}
+
+	// The device quietly reconnects; whether the broker alarms depends on
+	// replacement timing — but the session disruption is visible in the
+	// record stream and TCP state, unlike any amount of delaying.
+	tb.Clock.RunFor(30 * time.Second)
+	if _, ok := h.CurrentBridge(); !ok {
+		t.Fatal("device never re-established after the forgery fallout")
+	}
+}

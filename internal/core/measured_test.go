@@ -1,0 +1,164 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/simtime"
+	"repro/internal/sniff"
+)
+
+func clampDur(v uint16, lo, hi time.Duration) time.Duration {
+	span := int64(hi-lo) + 1
+	return lo + time.Duration(int64(v)%span)
+}
+
+// randomMeasured builds plausible profiles from fuzz input.
+func randomMeasured(ka, kaTO, evTO, cmdTO uint16, onIdle, hasKA bool) core.Measured {
+	m := core.Measured{
+		Model:        "fuzz",
+		HasKeepAlive: hasKA,
+	}
+	if hasKA {
+		m.KeepAlivePeriod = clampDur(ka, 2*time.Second, 5*time.Minute)
+		m.KeepAliveTimeout = clampDur(kaTO, time.Second, 2*time.Minute)
+		m.Pattern = proto.PatternFixed
+		if onIdle {
+			m.Pattern = proto.PatternOnIdle
+		}
+	}
+	if evTO%3 == 0 {
+		m.EventTimeout = clampDur(evTO, time.Second, 3*time.Minute)
+	}
+	if cmdTO%2 == 0 {
+		m.CommandTimeout = clampDur(cmdTO, time.Second, time.Minute)
+	}
+	return m
+}
+
+// Property: windows are well-formed (min <= max) and never exceed their
+// defining timers.
+func TestPropertyWindowWellFormed(t *testing.T) {
+	f := func(ka, kaTO, evTO, cmdTO uint16, onIdle, hasKA bool) bool {
+		m := randomMeasured(ka, kaTO, evTO, cmdTO, onIdle, hasKA)
+		lo, hi, bounded := m.EventWindow()
+		if bounded {
+			if lo > hi || lo < 0 {
+				return false
+			}
+			if m.EventTimeout > 0 && hi > m.EventTimeout {
+				return false
+			}
+			if m.HasKeepAlive && hi > m.KeepAlivePeriod+m.KeepAliveTimeout {
+				return false
+			}
+		} else if m.EventTimeout > 0 || m.HasKeepAlive {
+			return false // something should have bounded it
+		}
+		clo, chi, cbounded := m.CommandWindow()
+		if cbounded && (clo > chi || (m.CommandTimeout > 0 && chi > m.CommandTimeout)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the predictor's forecast is always strictly after the hold
+// start when bounded, and never earlier than the tightest constituent
+// timer could allow.
+func TestPropertyPredictorBounds(t *testing.T) {
+	f := func(ka, kaTO, evTO, cmdTO uint16, onIdle, hasKA bool, holdMS uint16) bool {
+		m := randomMeasured(ka, kaTO, evTO, cmdTO, onIdle, hasKA)
+		p := core.NewPredictor(m)
+		holdStart := simtime.Time(holdMS) * time.Millisecond
+		for _, kind := range []sniff.MsgKind{sniff.KindEvent, sniff.KindCommand} {
+			at, bounded := p.PredictClose(holdStart, kind)
+			if !bounded {
+				continue
+			}
+			if at <= holdStart {
+				return false
+			}
+			// Never beyond the loosest possible bound.
+			loosest := holdStart
+			if m.HasKeepAlive {
+				loosest += m.KeepAlivePeriod + m.KeepAliveTimeout
+			}
+			if m.EventTimeout > loosest-holdStart {
+				loosest = holdStart + m.EventTimeout
+			}
+			if m.CommandTimeout > loosest-holdStart {
+				loosest = holdStart + m.CommandTimeout
+			}
+			if at > loosest {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: feeding the predictor observations never makes it forecast a
+// close before the hold start.
+func TestPropertyPredictorWithObservations(t *testing.T) {
+	f := func(obsMS []uint16, holdMS uint16) bool {
+		m := core.Measured{
+			Model:            "x",
+			HasKeepAlive:     true,
+			KeepAlivePeriod:  31 * time.Second,
+			Pattern:          proto.PatternOnIdle,
+			KeepAliveTimeout: 16 * time.Second,
+		}
+		p := core.NewPredictor(m)
+		var last simtime.Time
+		for _, o := range obsMS {
+			at := last + simtime.Time(o)*time.Millisecond
+			last = at
+			p.Observe(core.ClassifiedRecord{
+				RecordInfo: core.RecordInfo{At: at, Dir: sniff.DirClientToServer},
+				Msg:        sniff.MsgSignature{Kind: sniff.KindKeepAlive},
+				Known:      true,
+			})
+		}
+		holdStart := last + simtime.Time(holdMS)*time.Millisecond
+		at, bounded := p.PredictClose(holdStart, sniff.KindEvent)
+		return bounded && at > holdStart
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasuredString(t *testing.T) {
+	m := core.Measured{
+		Model:            "H1",
+		HasKeepAlive:     true,
+		KeepAlivePeriod:  31 * time.Second,
+		Pattern:          proto.PatternOnIdle,
+		KeepAliveTimeout: 16 * time.Second,
+	}
+	s := m.String()
+	for _, want := range []string{"H1", "31s", "on-idle", "16s", "∞"} {
+		if !contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,106 @@
+package defense
+
+import (
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/tcpsim"
+)
+
+// RTTMonitor is a device-side extension beyond the paper's two
+// countermeasures (its future work calls for defenses against the delay
+// attacks): watch the TCP-level round-trip time of the cloud session.
+//
+// The split-connection hijacker must acknowledge segments from the LAN —
+// that is exactly what keeps the TCP timers quiet. But a LAN
+// acknowledgement arrives an order of magnitude faster than one from the
+// vendor cloud, so a take-over shows up as a sudden *collapse* of the
+// smoothed RTT. The monitor learns a baseline while the session is
+// (presumed) clean and alerts when the SRTT drops below a fraction of it.
+//
+// Limitations, inherent and documented: an attacker present before the
+// first connection poisons the baseline; an attacker could artificially
+// delay its ACKs to mimic WAN RTT (at the cost of reintroducing timing
+// pressure on its own hold bookkeeping); and NAT/route changes can shift
+// RTT legitimately (the threshold trades false positives for detection).
+type RTTMonitor struct {
+	clk  *simtime.Clock
+	conn *tcpsim.Conn
+
+	// DropThreshold is the fraction of baseline below which the SRTT is
+	// suspicious. Default 0.5.
+	DropThreshold float64
+	// BaselineSamples is how many RTT samples establish the baseline.
+	// Default 8.
+	BaselineSamples int
+	// Interval is the polling period. Default 5s.
+	Interval time.Duration
+	// OnAlert fires once when a collapse is detected.
+	OnAlert func(baseline, current time.Duration)
+
+	baseline    time.Duration
+	baselineSet bool
+	alerted     bool
+	ticker      *simtime.Ticker
+}
+
+// NewRTTMonitor attaches a monitor to a connection and starts polling.
+func NewRTTMonitor(clk *simtime.Clock, conn *tcpsim.Conn) *RTTMonitor {
+	m := &RTTMonitor{
+		clk:             clk,
+		conn:            conn,
+		DropThreshold:   0.5,
+		BaselineSamples: 8,
+		Interval:        5 * time.Second,
+	}
+	m.ticker = simtime.NewTicker(clk, m.Interval, m.poll)
+	return m
+}
+
+// Stop halts polling.
+func (m *RTTMonitor) Stop() {
+	if m.ticker != nil {
+		m.ticker.Stop()
+	}
+}
+
+// Baseline returns the learned baseline, once set.
+func (m *RTTMonitor) Baseline() (time.Duration, bool) { return m.baseline, m.baselineSet }
+
+// SetBaseline seeds the monitor with a baseline persisted from an earlier
+// session — reconnecting with a fresh baseline would let an attacker who
+// forces a reconnect start from a clean slate.
+func (m *RTTMonitor) SetBaseline(d time.Duration) {
+	m.baseline = d
+	m.baselineSet = d > 0
+}
+
+// Alerted reports whether a collapse was flagged.
+func (m *RTTMonitor) Alerted() bool { return m.alerted }
+
+func (m *RTTMonitor) poll() {
+	srtt, samples := m.conn.SRTT()
+	if srtt <= 0 {
+		return
+	}
+	if !m.baselineSet {
+		if samples >= m.BaselineSamples {
+			m.baseline = srtt
+			m.baselineSet = true
+		}
+		return
+	}
+	if m.alerted {
+		return
+	}
+	if float64(srtt) < float64(m.baseline)*m.DropThreshold {
+		m.alerted = true
+		if m.OnAlert != nil {
+			m.OnAlert(m.baseline, srtt)
+		}
+	}
+}
+
+// SRTTOf is a convenience for experiments: the current smoothed RTT of a
+// connection.
+func SRTTOf(conn *tcpsim.Conn) (time.Duration, int) { return conn.SRTT() }

@@ -1,0 +1,301 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+func TestCatalogHasFiftyDevices(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 50 {
+		t.Fatalf("catalog size = %d, want 50", len(cat))
+	}
+	if got := len(CloudProfiles()); got != 33 {
+		t.Fatalf("cloud roster = %d, want 33 (Table I)", got)
+	}
+	if got := len(LocalProfiles()); got != 17 {
+		t.Fatalf("local roster = %d, want 17 (Table II)", got)
+	}
+}
+
+func TestCatalogLabelsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, p := range Catalog() {
+		if p.Label == "" {
+			t.Fatalf("profile %q has empty label", p.Model)
+		}
+		if seen[p.Label] {
+			t.Fatalf("duplicate label %s", p.Label)
+		}
+		seen[p.Label] = true
+	}
+}
+
+func TestCatalogStructurallySound(t *testing.T) {
+	byLabel := ByLabel()
+	for _, p := range Catalog() {
+		if p.Model == "" || p.Vendor == "" || p.Class == "" {
+			t.Errorf("%s: missing identity fields", p.Label)
+		}
+		if p.EventAttr == "" || len(p.EventValues) == 0 {
+			t.Errorf("%s: no reportable attribute", p.Label)
+		}
+		if p.EventLen <= 0 {
+			t.Errorf("%s: no event length", p.Label)
+		}
+		switch p.Transport {
+		case TransportViaHub:
+			hub, ok := byLabel[p.ViaHub]
+			if !ok {
+				t.Errorf("%s: unknown hub %q", p.Label, p.ViaHub)
+				continue
+			}
+			if !hub.IsHub() {
+				t.Errorf("%s: via non-hub %s", p.Label, hub.Label)
+			}
+		case TransportMQTT, TransportHTTPLong:
+			if p.KeepAlivePeriod <= 0 || p.KeepAliveTimeout <= 0 {
+				t.Errorf("%s: long-lived transport without keep-alive parameters", p.Label)
+			}
+			if p.KeepAlivePattern != proto.PatternFixed && p.KeepAlivePattern != proto.PatternOnIdle {
+				t.Errorf("%s: bad keep-alive pattern", p.Label)
+			}
+			if p.KeepAliveLen <= 0 {
+				t.Errorf("%s: no keep-alive length", p.Label)
+			}
+			if p.ServerDomain == "" {
+				t.Errorf("%s: no server domain", p.Label)
+			}
+		case TransportHTTPOnDemand:
+			if p.EventTimeout <= 0 || p.ServerIdleTimeout <= 0 {
+				t.Errorf("%s: on-demand device needs event + server-idle timeouts", p.Label)
+			}
+		case TransportHAP:
+			if p.ServerDomain != "local" {
+				t.Errorf("%s: HAP device must use the local domain", p.Label)
+			}
+		default:
+			t.Errorf("%s: unknown transport", p.Label)
+		}
+		if p.CommandAttr != "" && p.Transport != TransportViaHub {
+			if p.CommandLen <= 0 {
+				t.Errorf("%s: commandable device without command length", p.Label)
+			}
+		}
+	}
+}
+
+func TestPaperProseValuesEncodedExactly(t *testing.T) {
+	byLabel := ByLabel()
+	st := byLabel["H1"]
+	if st.KeepAlivePeriod != 31*time.Second || st.KeepAliveTimeout != 16*time.Second ||
+		st.KeepAlivePattern != proto.PatternOnIdle || st.KeepAliveLen != 40 {
+		t.Fatalf("SmartThings hub mismatch: %+v", st)
+	}
+	if st.EventTimeout != 0 {
+		t.Fatal("SmartThings events must have no dedicated timeout")
+	}
+	hue := byLabel["H2"]
+	if hue.KeepAlivePeriod != 120*time.Second || hue.KeepAlivePattern != proto.PatternFixed ||
+		hue.KeepAliveTimeout != 60*time.Second || hue.CommandTimeout != 21*time.Second {
+		t.Fatalf("Hue bridge mismatch: %+v", hue)
+	}
+	ring := byLabel["H3"]
+	if ring.KeepAliveLen != 48 {
+		t.Fatalf("Ring keep-alive len = %d, want 48", ring.KeepAliveLen)
+	}
+	if byLabel["C2"].EventLen != 986 {
+		t.Fatalf("Ring contact event len = %d, want 986", byLabel["C2"].EventLen)
+	}
+	if byLabel["L1"].KeepAlivePeriod > 2*time.Second {
+		t.Fatal("LIFX keep-alive must be sub-2s")
+	}
+	if lo, _, ok := byLabel["K2"].MaxEventDelay(); !ok || lo >= 30*time.Second {
+		t.Fatal("SimpliSafe keypad must be the sub-30s outlier")
+	}
+}
+
+func TestEventWindowsMatchPaperAggregate(t *testing.T) {
+	// "Event messages of all tested devices can be delayed for longer than
+	// 30 seconds except the SimpliSafe keypad."
+	byLabel := ByLabel()
+	for _, p := range CloudProfiles() {
+		sp, err := SessionProfile(p, byLabel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eff := sp
+		if p.Transport == TransportViaHub {
+			// Children inherit session timeouts; their own EventTimeout
+			// field is unset.
+			eff.EventLen = p.EventLen
+		}
+		lo, _, bounded := eff.MaxEventDelay()
+		if !bounded {
+			continue // unbounded is trivially > 30s
+		}
+		if p.Label == "K2" {
+			if lo >= 30*time.Second {
+				t.Fatalf("K2 window %v, want < 30s", lo)
+			}
+			continue
+		}
+		if lo < 30*time.Second {
+			t.Errorf("%s: min event window %v < 30s", p.Label, lo)
+		}
+	}
+}
+
+func TestHomeKitWindowsUnbounded(t *testing.T) {
+	for _, p := range LocalProfiles() {
+		if _, _, bounded := p.MaxEventDelay(); bounded {
+			t.Errorf("%s: HAP event window should be unbounded", p.Label)
+		}
+	}
+}
+
+func TestMaxEventDelayShapes(t *testing.T) {
+	onIdle := Profile{
+		Transport:        TransportMQTT,
+		KeepAlivePeriod:  31 * time.Second,
+		KeepAlivePattern: proto.PatternOnIdle,
+		KeepAliveTimeout: 16 * time.Second,
+	}
+	lo, hi, ok := onIdle.MaxEventDelay()
+	if !ok || lo != 47*time.Second || hi != 47*time.Second {
+		t.Fatalf("on-idle window = [%v,%v], want constant 47s", lo, hi)
+	}
+	fixed := Profile{
+		Transport:        TransportMQTT,
+		KeepAlivePeriod:  120 * time.Second,
+		KeepAlivePattern: proto.PatternFixed,
+		KeepAliveTimeout: 60 * time.Second,
+	}
+	lo, hi, ok = fixed.MaxEventDelay()
+	if !ok || lo != 60*time.Second || hi != 180*time.Second {
+		t.Fatalf("fixed window = [%v,%v], want [60s,180s] (the Hue range)", lo, hi)
+	}
+	dedicated := Profile{Transport: TransportHTTPLong, EventTimeout: 25 * time.Second}
+	lo, hi, ok = dedicated.MaxEventDelay()
+	if !ok || lo != 25*time.Second || hi != 25*time.Second {
+		t.Fatalf("dedicated window = [%v,%v], want 25s", lo, hi)
+	}
+	onDemand := Profile{Transport: TransportHTTPOnDemand, ServerIdleTimeout: 5 * time.Minute}
+	lo, _, ok = onDemand.MaxEventDelay()
+	if !ok || lo != 5*time.Minute {
+		t.Fatalf("on-demand window = %v, want 5m", lo)
+	}
+}
+
+func TestMaxCommandDelay(t *testing.T) {
+	p := Profile{CommandAttr: "switch", CommandTimeout: 21 * time.Second}
+	lo, hi, ok := p.MaxCommandDelay()
+	if !ok || lo != 21*time.Second || hi != 21*time.Second {
+		t.Fatalf("command window = [%v,%v], want 21s", lo, hi)
+	}
+	sensor := Profile{}
+	if _, _, ok := sensor.MaxCommandDelay(); ok {
+		t.Fatal("pure sensor has no command window")
+	}
+	noTimeout := Profile{
+		CommandAttr:      "switch",
+		Transport:        TransportMQTT,
+		KeepAlivePeriod:  31 * time.Second,
+		KeepAlivePattern: proto.PatternOnIdle,
+		KeepAliveTimeout: 16 * time.Second,
+	}
+	lo, _, ok = noTimeout.MaxCommandDelay()
+	if !ok || lo != 47*time.Second {
+		t.Fatalf("keep-alive-bounded command window = %v, want 47s", lo)
+	}
+}
+
+func TestSessionProfileResolution(t *testing.T) {
+	byLabel := ByLabel()
+	c2 := byLabel["C2"]
+	sp, err := SessionProfile(c2, byLabel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Label != "H3" {
+		t.Fatalf("C2 session owner = %s, want H3", sp.Label)
+	}
+	h1 := byLabel["H1"]
+	sp, err = SessionProfile(h1, byLabel)
+	if err != nil || sp.Label != "H1" {
+		t.Fatalf("hub should own its session: %v %v", sp.Label, err)
+	}
+	if _, err := SessionProfile(Profile{Label: "X", Transport: TransportViaHub, ViaHub: "GONE"}, byLabel); err == nil {
+		t.Fatal("dangling hub reference should fail")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	p, err := Lookup("H1")
+	if err != nil || p.Label != "H1" {
+		t.Fatalf("Lookup(H1) = %v, %v", p.Label, err)
+	}
+	if _, err := Lookup("ZZ"); err == nil {
+		t.Fatal("unknown label should fail")
+	}
+}
+
+func TestBodyCodec(t *testing.T) {
+	b := EncodeBody("LK1", "lock", "unlocked")
+	origin, attr, value, err := DecodeBody(b)
+	if err != nil || origin != "LK1" || attr != "lock" || value != "unlocked" {
+		t.Fatalf("decode = %s %s %s %v", origin, attr, value, err)
+	}
+	if _, _, _, err := DecodeBody([]byte("no separators")); err == nil {
+		t.Fatal("malformed body should fail")
+	}
+	// Values may contain the separator; only the first two split.
+	b = EncodeBody("D", "a", "x|y")
+	_, _, v, err := DecodeBody(b)
+	if err != nil || v != "x|y" {
+		t.Fatalf("value with separator: %q %v", v, err)
+	}
+}
+
+func TestTopicHelpers(t *testing.T) {
+	if EventTopic("C2") != "C2/event" || CommandTopic("LK1") != "LK1/set" {
+		t.Fatal("topic helpers wrong")
+	}
+}
+
+// TestDeclaredLengthsFitEncodings: every profile's declared wire lengths
+// must exceed the raw protocol encoding of its messages, or padding could
+// not reach them and the fingerprint signatures would be wrong.
+func TestDeclaredLengthsFitEncodings(t *testing.T) {
+	byLabel := ByLabel()
+	for _, p := range Catalog() {
+		owner, err := SessionProfile(p, byLabel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		longestValue := ""
+		for _, v := range p.EventValues {
+			if len(v) > len(longestValue) {
+				longestValue = v
+			}
+		}
+		// Conservative upper bounds on raw encodings per transport: header
+		// fields + topic/path + ids + body.
+		rawEvent := 64 + len(p.Label) + len(p.EventAttr) + len(longestValue)
+		if p.EventLen < rawEvent && p.EventLen > 0 {
+			// The encoding itself would exceed the declared length.
+			t.Errorf("%s: event length %d below raw encoding bound %d", p.Label, p.EventLen, rawEvent)
+		}
+		if p.CommandAttr != "" && p.CommandLen > 0 {
+			rawCmd := 64 + len(p.Label) + len(p.CommandAttr) + len(longestValue)
+			if p.CommandLen < rawCmd {
+				t.Errorf("%s: command length %d below raw encoding bound %d", p.Label, p.CommandLen, rawCmd)
+			}
+		}
+		if owner.KeepAliveLen > 0 && owner.KeepAliveLen < 16 {
+			t.Errorf("%s: keep-alive length %d too small for any framing", owner.Label, owner.KeepAliveLen)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMarginAblationShape(t *testing.T) {
+	// Larger margins give up delay; all sane margins stay stealthy in a
+	// low-jitter home; the mean delay decreases monotonically with margin.
+	margins := []time.Duration{time.Second, 2 * time.Second, 5 * time.Second, 10 * time.Second}
+	points := RunMarginAblation("C1", margins, 3, 900)
+	for i, p := range points {
+		if p.Err != nil {
+			t.Fatalf("margin %v: %v", p.Margin, p.Err)
+		}
+		if p.Stealthy != p.Trials || p.Accepted != p.Trials {
+			t.Errorf("margin %v: stealthy %d/%d accepted %d/%d",
+				p.Margin, p.Stealthy, p.Trials, p.Accepted, p.Trials)
+		}
+		if i > 0 && p.MeanDelay >= points[i-1].MeanDelay {
+			t.Errorf("mean delay did not shrink with margin: %v@%v then %v@%v",
+				points[i-1].MeanDelay, points[i-1].Margin, p.MeanDelay, p.Margin)
+		}
+	}
+	// The C1 (SmartThings) window is 47s; with a 2s margin we expect ~45s.
+	if got := points[1].MeanDelay; got < 43*time.Second || got > 46*time.Second {
+		t.Errorf("2s-margin mean delay = %v, want about 45s", got)
+	}
+}
+
+func TestDetectionBoundaryCliff(t *testing.T) {
+	// C1's window edge is 47s: holds below it stay clean, holds beyond it
+	// kill the device's session (which recovers silently — the cliff is a
+	// device-side timeout, not an alarm, per Findings 2/3).
+	holds := []time.Duration{40 * time.Second, 45 * time.Second, 50 * time.Second, 60 * time.Second}
+	points := RunDetectionBoundary("C1", holds, 910)
+	for _, p := range points {
+		if p.Err != nil {
+			t.Fatalf("hold %v: %v", p.Hold, p.Err)
+		}
+	}
+	if points[0].SessionDied || points[1].SessionDied {
+		t.Errorf("holds inside the window killed the session: %+v %+v", points[0], points[1])
+	}
+	if !points[2].SessionDied || !points[3].SessionDied {
+		t.Errorf("holds beyond the window should kill the session: %+v %+v", points[2], points[3])
+	}
+	// Events still accepted inside the window.
+	if !points[0].EventAccepted || !points[1].EventAccepted {
+		t.Error("in-window events must be accepted")
+	}
+	// Even past the cliff, the passive server raises no alarm (Finding 3):
+	// the loss is the device's quiet reconnection.
+	for _, p := range points {
+		if p.Alarms != 0 {
+			t.Errorf("hold %v raised %d alarms; the cliff should be silent server-side", p.Hold, p.Alarms)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAckTimeoutDefenseShrinksWindow(t *testing.T) {
+	results := RunAckTimeoutDefense("C2", []time.Duration{20 * time.Second, 10 * time.Second, 5 * time.Second}, 800)
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("point %d (%v): %v", i, r.AckTimeout, r.Err)
+		}
+	}
+	// The window shrinks monotonically with the timeout...
+	for i := 1; i < len(results); i++ {
+		if results[i].AchievedDelay >= results[i-1].AchievedDelay {
+			t.Errorf("window did not shrink: %v@%v then %v@%v",
+				results[i-1].AchievedDelay, results[i-1].AckTimeout,
+				results[i].AchievedDelay, results[i].AckTimeout)
+		}
+	}
+	// ...while keep-alive traffic grows.
+	if results[3].TrafficPerHour <= results[0].TrafficPerHour {
+		t.Errorf("traffic cost did not grow: stock %dB/h vs 5s %dB/h",
+			results[0].TrafficPerHour, results[3].TrafficPerHour)
+	}
+	// The analytical estimate tracks the measured traffic within 20%.
+	for _, r := range results {
+		ratio := float64(r.TrafficPerHour) / float64(r.EstimatePerHour)
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Errorf("estimate off at %v: measured %d, estimated %d", r.AckTimeout, r.TrafficPerHour, r.EstimatePerHour)
+		}
+	}
+}
+
+func TestLIFXStyleTrafficCost(t *testing.T) {
+	// The paper's LIFX example: a sub-2s keep-alive interval costs orders
+	// of magnitude more idle bandwidth than a 30s one.
+	results := RunAckTimeoutDefense("L1", []time.Duration{2 * time.Second}, 810)
+	if results[1].Err != nil {
+		t.Fatal(results[1].Err)
+	}
+	if results[1].TrafficPerHour < 100_000 {
+		t.Errorf("sub-2s keep-alives cost only %d B/h; expected heavy overhead", results[1].TrafficPerHour)
+	}
+}
+
+func TestTimestampDefense(t *testing.T) {
+	res := RunTimestampDefense(820)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.TriggerDelayBlocked {
+		t.Errorf("timestamp checking should block delayed triggers: %s", res.TriggerDetail)
+	}
+	if !res.ConditionDelayStillWorks {
+		t.Errorf("the Case 8 condition-delay attack should still succeed: %s", res.ConditionDetail)
+	}
+	if !res.DetectedAfterTheFact {
+		t.Error("the stale condition event should alarm on (late) arrival")
+	}
+}

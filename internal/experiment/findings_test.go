@@ -1,0 +1,15 @@
+package experiment
+
+import "testing"
+
+func TestFindingsHold(t *testing.T) {
+	for _, r := range RunFindings(700) {
+		if r.Err != nil {
+			t.Errorf("finding %d: %v", r.ID, r.Err)
+			continue
+		}
+		if !r.Holds {
+			t.Errorf("finding %d (%s) did not hold: %s", r.ID, r.Title, r.Detail)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallelism note: a single testbed's simulation is strictly
+// single-threaded (that is what makes runs deterministic), but the table
+// measurements build one *independent* testbed per device, so they
+// parallelise perfectly across devices. Results are identical to the
+// serial runner — each device's universe owns its seed — only wall-clock
+// time changes.
+
+// RunTableParallel is RunTable with up to workers devices measured
+// concurrently. workers <= 0 selects GOMAXPROCS.
+func RunTableParallel(labels []string, opts TableOptions, workers int) []TableRow {
+	opts.fill()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(labels) {
+		workers = len(labels)
+	}
+	rows := make([]TableRow, len(labels))
+	type job struct {
+		idx   int
+		label string
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				rows[j.idx] = measureDevice(j.label, opts, opts.Seed+int64(j.idx)*101)
+			}
+		}()
+	}
+	for i, label := range labels {
+		jobs <- job{idx: i, label: label}
+	}
+	close(jobs)
+	wg.Wait()
+	return rows
+}

@@ -1,0 +1,42 @@
+package experiment
+
+import "testing"
+
+func TestReconCoverageGrowsWithDatabase(t *testing.T) {
+	// An 12-device home spanning five vendor sessions plus three direct
+	// devices; the attacker's database grows from the top 3 models to all.
+	labels := []string{
+		"C1", "M1", // SmartThings (most popular)
+		"L2", "M2", // Hue
+		"C2", "M3", // Ring
+		"LK1",       // August
+		"P2",        // Kasa
+		"CM1", "K2", // Wyze, SimpliSafe
+		"SD1", "P4", // Nest, Meross
+	}
+	results := RunReconCoverage(labels, []int{3, 6, 100}, 1200)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("top%d: %v", r.TopN, r.Err)
+		}
+	}
+	if !(results[0].Coverage() <= results[1].Coverage() && results[1].Coverage() < results[2].Coverage()) {
+		t.Fatalf("coverage should grow with the database: %.2f, %.2f, %.2f",
+			results[0].Coverage(), results[1].Coverage(), results[2].Coverage())
+	}
+	// The paper's point: a handful of popular profiles already covers a
+	// substantial share of the home (the exact set depends on which
+	// popular apps happen to be deployed here).
+	if results[0].Coverage() < 0.3 {
+		t.Errorf("top-3 coverage = %.2f, want a substantial share", results[0].Coverage())
+	}
+	if results[1].Coverage() < 0.5 {
+		t.Errorf("top-6 coverage = %.2f, want most of the home", results[1].Coverage())
+	}
+	if results[2].Coverage() < 0.99 {
+		t.Errorf("full-database coverage = %.2f, want ~everything", results[2].Coverage())
+	}
+	if len(results[0].ProfiledModels) != 3 {
+		t.Fatalf("top-3 database has %d models", len(results[0].ProfiledModels))
+	}
+}

@@ -1,0 +1,338 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// TableOptions tunes the Table I/II measurement runs.
+type TableOptions struct {
+	// Seed drives the testbeds.
+	Seed int64
+	// Trials per message class (the paper uses 20).
+	Trials int
+	// Recovery between trials (the paper uses 2 minutes).
+	Recovery time.Duration
+	// Margin is the release margin before predicted timeouts when
+	// measuring achievable delays.
+	Margin time.Duration
+	// UnboundedDemo is how long unbounded holds are demonstrated before
+	// release (HomeKit events).
+	UnboundedDemo time.Duration
+}
+
+func (o *TableOptions) fill() {
+	if o.Trials <= 0 {
+		o.Trials = 3
+	}
+	if o.Recovery <= 0 {
+		o.Recovery = 30 * time.Second
+	}
+	if o.Margin <= 0 {
+		o.Margin = 2 * time.Second
+	}
+	if o.UnboundedDemo <= 0 {
+		o.UnboundedDemo = time.Hour
+	}
+}
+
+// TableRow is one measured device: the paper's Table I/II columns.
+type TableRow struct {
+	Label     string
+	Model     string
+	Class     string
+	Transport string
+	ViaHub    string
+
+	// Measured timeout-behaviour parameters (Section IV-B).
+	Measured core.Measured
+
+	// Ground truth for validation.
+	Truth device.Profile
+
+	// EventDelayAchieved is the longest event delay demonstrated with the
+	// message still accepted and zero alarms. EventDelayUnbounded marks
+	// the "∞" rows, where EventDelayAchieved only demonstrates a floor.
+	EventDelayAchieved  time.Duration
+	EventDelayUnbounded bool
+	// CommandDelayAchieved mirrors the above for commands (zero when the
+	// device takes no commands).
+	CommandDelayAchieved  time.Duration
+	CommandDelayUnbounded bool
+	HasCommands           bool
+
+	// ParametersVerified reports the profiler output matching ground truth
+	// within tolerance.
+	ParametersVerified bool
+	// StealthOK reports zero server-side alarms across all measurements.
+	StealthOK bool
+
+	// Err captures a per-device measurement failure.
+	Err error
+}
+
+// RunTable measures every given catalog label, building a fresh hijacked
+// testbed per device (as the paper measures devices one at a time).
+func RunTable(labels []string, opts TableOptions) []TableRow {
+	opts.fill()
+	rows := make([]TableRow, 0, len(labels))
+	for i, label := range labels {
+		row := measureDevice(label, opts, opts.Seed+int64(i)*101)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RunTable1 reproduces Table I (cloud-connected devices).
+func RunTable1(opts TableOptions) []TableRow {
+	var labels []string
+	for _, p := range device.CloudProfiles() {
+		labels = append(labels, p.Label)
+	}
+	return RunTable(labels, opts)
+}
+
+// RunTable2 reproduces Table II (local HomeKit accessories).
+func RunTable2(opts TableOptions) []TableRow {
+	var labels []string
+	for _, p := range device.LocalProfiles() {
+		labels = append(labels, p.Label)
+	}
+	return RunTable(labels, opts)
+}
+
+func measureDevice(label string, opts TableOptions, seed int64) TableRow {
+	truth, err := device.Lookup(label)
+	row := TableRow{Label: label, Err: err}
+	if err != nil {
+		return row
+	}
+	row.Model = truth.Model
+	row.Class = truth.Class
+	row.Transport = truth.Transport.String()
+	row.ViaHub = truth.ViaHub
+	row.Truth = truth
+	row.HasCommands = truth.CommandAttr != ""
+
+	tb, err := NewTestbed(TestbedConfig{Seed: seed, Devices: []string{label}})
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	atk, err := tb.NewAttacker()
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	h, err := tb.Hijack(atk, label)
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	tb.Start()
+
+	lab, err := tb.NewLab(h, label)
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	lab.Trials = opts.Trials
+	lab.Recovery = opts.Recovery
+	m, err := lab.Profile()
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	row.Measured = m
+	row.ParametersVerified = parametersMatch(m, truth, tb)
+
+	// Profiling intentionally causes timeouts in the attacker's own lab;
+	// stealth is judged only over the demonstration attack that follows.
+	alarmsBeforeDemo := tb.TotalAlarmCount()
+
+	// Demonstrate the maximum stealthy delays.
+	h.ArmPredictor(m)
+	row.EventDelayAchieved, row.EventDelayUnbounded, err = demonstrateEventDelay(tb, h, lab, opts)
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	if row.HasCommands && lab.TriggerCommand != nil {
+		row.CommandDelayAchieved, row.CommandDelayUnbounded, err = demonstrateCommandDelay(tb, h, lab, opts)
+		if err != nil {
+			row.Err = err
+			return row
+		}
+	}
+	row.StealthOK = tb.TotalAlarmCount() == alarmsBeforeDemo
+	return row
+}
+
+// demonstrateEventDelay holds one event for the maximum predicted-safe
+// time (or UnboundedDemo when no timeout bounds it) and verifies the
+// event is still accepted.
+func demonstrateEventDelay(tb *Testbed, h *core.Hijacker, lab *core.Lab, opts TableOptions) (time.Duration, bool, error) {
+	m := h.Predictor().Measured()
+	_, _, bounded := m.EventWindow()
+
+	var achieved time.Duration
+	released := false
+	var op *core.DelayOp
+	if bounded {
+		op = h.MaxEDelay(lab.EventOrigin, opts.Margin)
+	} else {
+		op = h.EDelay(lab.EventOrigin, opts.UnboundedDemo)
+	}
+	op.OnReleased = func(d time.Duration) { achieved, released = d, true }
+
+	eventsBefore := countAccepted(tb, lab.EventOrigin)
+	if err := lab.TriggerEvent(); err != nil {
+		return 0, false, err
+	}
+	limit := opts.UnboundedDemo + 10*time.Minute
+	deadline := tb.Clock.Now() + limit
+	for !released && tb.Clock.Now() < deadline {
+		if next, ok := tb.Clock.NextEventAt(); !ok || next > deadline {
+			tb.Clock.RunUntil(deadline)
+			break
+		}
+		tb.Clock.Step()
+	}
+	tb.Clock.RunFor(5 * time.Second)
+	if !released {
+		return 0, false, fmt.Errorf("experiment: %s event delay never released", lab.EventOrigin)
+	}
+	if countAccepted(tb, lab.EventOrigin) <= eventsBefore {
+		return 0, false, fmt.Errorf("experiment: %s delayed event not accepted", lab.EventOrigin)
+	}
+	return achieved, !bounded, nil
+}
+
+func demonstrateCommandDelay(tb *Testbed, h *core.Hijacker, lab *core.Lab, opts TableOptions) (time.Duration, bool, error) {
+	m := h.Predictor().Measured()
+	_, _, bounded := m.CommandWindow()
+
+	var achieved time.Duration
+	released := false
+	var op *core.DelayOp
+	if bounded {
+		op = h.MaxCDelay(lab.CommandOrigin, opts.Margin)
+	} else {
+		op = h.CDelay(lab.CommandOrigin, opts.UnboundedDemo)
+	}
+	op.OnReleased = func(d time.Duration) { achieved, released = d, true }
+	if err := lab.TriggerCommand(); err != nil {
+		return 0, false, err
+	}
+	limit := opts.UnboundedDemo + 10*time.Minute
+	deadline := tb.Clock.Now() + limit
+	for !released && tb.Clock.Now() < deadline {
+		if next, ok := tb.Clock.NextEventAt(); !ok || next > deadline {
+			tb.Clock.RunUntil(deadline)
+			break
+		}
+		tb.Clock.Step()
+	}
+	tb.Clock.RunFor(5 * time.Second)
+	if !released {
+		return 0, false, fmt.Errorf("experiment: %s command delay never released", lab.CommandOrigin)
+	}
+	return achieved, !bounded, nil
+}
+
+func countAccepted(tb *Testbed, origin string) int {
+	n := 0
+	if tb.LocalHub != nil {
+		for _, ev := range tb.LocalHub.Events() {
+			if ev.Device == origin {
+				n++
+			}
+		}
+	}
+	for _, ev := range tb.Integration.Events() {
+		if ev.Device == origin {
+			n++
+		}
+	}
+	return n
+}
+
+// parametersMatch validates the profiler output against ground truth with
+// a small tolerance.
+func parametersMatch(m core.Measured, truth device.Profile, tb *Testbed) bool {
+	owner, err := device.SessionProfile(truth, tb.byLabel)
+	if err != nil {
+		return false
+	}
+	const tol = 3 * time.Second
+	approx := func(a, b time.Duration) bool {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d <= tol
+	}
+	switch owner.Transport {
+	case device.TransportHAP:
+		return !m.HasKeepAlive && m.EventTimeout == 0
+	case device.TransportHTTPOnDemand:
+		return m.OnDemand && approx(m.EventTimeout, owner.EventTimeout) &&
+			approx(m.ServerIdleTimeout, owner.ServerIdleTimeout)
+	}
+	if !m.HasKeepAlive || m.Pattern != owner.KeepAlivePattern {
+		return false
+	}
+	if !approx(m.KeepAlivePeriod, owner.KeepAlivePeriod) || !approx(m.KeepAliveTimeout, owner.KeepAliveTimeout) {
+		return false
+	}
+	// A dedicated event timeout only manifests when shorter than the
+	// keep-alive bound.
+	kaBound := owner.KeepAlivePeriod + owner.KeepAliveTimeout
+	if owner.EventTimeout > 0 && owner.EventTimeout < kaBound {
+		if !approx(m.EventTimeout, owner.EventTimeout) {
+			return false
+		}
+	} else if m.EventTimeout != 0 {
+		return false
+	}
+	return true
+}
+
+// FormatRows renders rows as a paper-style text table.
+func FormatRows(w io.Writer, title string, rows []TableRow) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-5s %-38s %-15s %-24s %-10s %-12s %-12s %-8s %-7s\n",
+		"Label", "Model", "Transport", "KeepAlive(period/pat/to)", "EventTO", "e-Delay", "c-Delay", "Verified", "Stealth")
+	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(w, "%-5s %-38s ERROR: %v\n", r.Label, r.Model, r.Err)
+			continue
+		}
+		ka := "-"
+		if r.Measured.HasKeepAlive {
+			ka = fmt.Sprintf("%v/%s/%v", r.Measured.KeepAlivePeriod, r.Measured.Pattern, r.Measured.KeepAliveTimeout)
+		}
+		evTO := "∞"
+		if r.Measured.EventTimeout > 0 {
+			evTO = r.Measured.EventTimeout.String()
+		}
+		eDelay := r.EventDelayAchieved.String()
+		if r.EventDelayUnbounded {
+			eDelay = "∞ (" + r.EventDelayAchieved.String() + "+)"
+		}
+		cDelay := "-"
+		if r.HasCommands {
+			cDelay = r.CommandDelayAchieved.String()
+			if r.CommandDelayUnbounded {
+				cDelay = "∞ (" + r.CommandDelayAchieved.String() + "+)"
+			}
+		}
+		fmt.Fprintf(w, "%-5s %-38s %-15s %-24s %-10s %-12s %-12s %-8v %-7v\n",
+			r.Label, r.Model, r.Transport, ka, evTO, eDelay, cDelay, r.ParametersVerified, r.StealthOK)
+	}
+}

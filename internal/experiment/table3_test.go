@@ -1,0 +1,27 @@
+package experiment
+
+import "testing"
+
+func TestTable3AllCases(t *testing.T) {
+	results := RunCases(Table3Cases(), 500)
+	if len(results) != 11 {
+		t.Fatalf("results = %d, want 11", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("case %d: %v", r.Case.ID, r.Err)
+			continue
+		}
+		if r.BaselineConsequence {
+			t.Errorf("case %d: consequence %q appeared WITHOUT attack (%s)",
+				r.Case.ID, r.Case.Consequence, r.BaselineDetail)
+		}
+		if !r.AttackConsequence {
+			t.Errorf("case %d: attack failed to produce %q (%s)",
+				r.Case.ID, r.Case.Consequence, r.AttackDetail)
+		}
+		if r.AttackAlarms != 0 {
+			t.Errorf("case %d: attack raised %d alarms", r.Case.ID, r.AttackAlarms)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package experiment builds complete simulated smart homes (Figure 1's two
+// deployments) and runs the paper's evaluation: the Table I/II timeout
+// measurements, the Table III proof-of-concept attacks, the verification
+// test, the three findings, and the countermeasure studies.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/device"
+	"repro/internal/ipaddr"
+	"repro/internal/ipnet"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+	"repro/internal/tcpsim"
+)
+
+// TestbedConfig selects what to build.
+type TestbedConfig struct {
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+	// Devices lists catalog labels to deploy. Hubs referenced by via-hub
+	// devices are added automatically.
+	Devices []string
+	// Integration configures the automation server.
+	Integration cloud.IntegrationConfig
+	// Overrides replaces catalog profiles by label before the home is
+	// built — how the defense experiments deploy hardened device variants.
+	Overrides []device.Profile
+	// LANLatency is the WiFi one-way latency. Default 2ms.
+	LANLatency time.Duration
+	// WANLatency is the uplink one-way latency. Default 10ms.
+	WANLatency time.Duration
+	// Jitter perturbs latencies by the given factor.
+	Jitter float64
+}
+
+// Testbed is a running simulated smart home.
+type Testbed struct {
+	Clock       *simtime.Clock
+	Net         *netsim.Network
+	LAN         *netsim.Segment
+	WAN         *netsim.Segment
+	Router      *ipnet.Stack
+	Integration *cloud.IntegrationServer
+	LocalHub    *cloud.LocalHub
+	Endpoints   map[string]*cloud.EndpointServer
+	Devices     map[string]*device.Device
+
+	// DeviceAddrs maps session-owning device labels to their LAN address.
+	DeviceAddrs map[string]ipaddr.Addr
+	// ServerAddrs maps vendor domains to their WAN address ("local" maps
+	// to the hub's LAN address).
+	ServerAddrs map[string]ipaddr.Addr
+
+	cfg      TestbedConfig
+	byLabel  map[string]device.Profile
+	rng      *simtime.Rand
+	nextHost int
+	nextWAN  int
+}
+
+// GatewayAddr is the home router's LAN address.
+var GatewayAddr = ipaddr.MustParse("192.168.1.1")
+
+// LocalHubAddr is the local hub's LAN address.
+var LocalHubAddr = ipaddr.MustParse("192.168.1.2")
+
+// AttackerAddr is where NewAttacker places its host.
+var AttackerAddr = ipaddr.MustParse("192.168.1.66")
+
+var routerWANAddr = ipaddr.MustParse("100.64.0.1")
+
+// NewTestbed builds the home: LAN + router + WAN, one endpoint server per
+// vendor domain, the integration server, a local hub if any HAP device is
+// selected, and all requested devices (started and connected).
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
+	if cfg.LANLatency <= 0 {
+		cfg.LANLatency = 2 * time.Millisecond
+	}
+	if cfg.WANLatency <= 0 {
+		cfg.WANLatency = 10 * time.Millisecond
+	}
+	clk := simtime.NewClock()
+	nw := netsim.NewNetwork(clk, cfg.Seed)
+	tb := &Testbed{
+		Clock:       clk,
+		Net:         nw,
+		LAN:         nw.NewSegment("lan", cfg.LANLatency, cfg.Jitter),
+		WAN:         nw.NewSegment("wan", cfg.WANLatency, cfg.Jitter),
+		Endpoints:   make(map[string]*cloud.EndpointServer),
+		Devices:     make(map[string]*device.Device),
+		DeviceAddrs: make(map[string]ipaddr.Addr),
+		ServerAddrs: make(map[string]ipaddr.Addr),
+		cfg:         cfg,
+		byLabel:     device.ByLabel(),
+		rng:         simtime.NewRand(cfg.Seed + 1),
+		nextHost:    10,
+		nextWAN:     10,
+	}
+	for _, p := range cfg.Overrides {
+		tb.byLabel[p.Label] = p
+	}
+
+	tb.Router = ipnet.NewStack(clk, nw.NewHost("router"))
+	tb.Router.MustAddIface(tb.LAN, "192.168.1.1/24")
+	tb.Router.MustAddIface(tb.WAN, "100.64.0.1/16")
+	tb.Router.Forwarding = true
+
+	tb.Integration = cloud.NewIntegrationServer(clk, cfg.Integration)
+
+	// Resolve the full device set (pull in hubs for via-hub devices).
+	labels := map[string]bool{}
+	for _, l := range cfg.Devices {
+		p, ok := tb.byLabel[l]
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown device label %q", l)
+		}
+		labels[l] = true
+		if p.Transport == device.TransportViaHub {
+			labels[p.ViaHub] = true
+		}
+	}
+
+	// Create endpoint servers and the local hub as needed.
+	for l := range labels {
+		p := tb.byLabel[l]
+		if p.Transport == device.TransportViaHub {
+			continue
+		}
+		if p.Transport == device.TransportHAP {
+			if err := tb.ensureLocalHub(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if _, ok := tb.Endpoints[p.ServerDomain]; !ok {
+			if err := tb.addEndpoint(p.ServerDomain); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Create session-owning devices first, then children.
+	for l := range labels {
+		p := tb.byLabel[l]
+		if p.Transport == device.TransportViaHub {
+			continue
+		}
+		if err := tb.addDevice(p); err != nil {
+			return nil, err
+		}
+	}
+	for l := range labels {
+		p := tb.byLabel[l]
+		if p.Transport != device.TransportViaHub {
+			continue
+		}
+		hub, ok := tb.Devices[p.ViaHub]
+		if !ok {
+			return nil, fmt.Errorf("experiment: hub %q for %q missing", p.ViaHub, p.Label)
+		}
+		child := device.NewChild(hub, p)
+		tb.Devices[p.Label] = child
+		tb.registerAtServer(p, p.ViaHub)
+	}
+	return tb, nil
+}
+
+func (tb *Testbed) ensureLocalHub() error {
+	if tb.LocalHub != nil {
+		return nil
+	}
+	ip := ipnet.NewStack(tb.Clock, tb.Net.NewHost("homepod"))
+	ip.MustAddIface(tb.LAN, "192.168.1.2/24")
+	if err := ip.SetDefaultGateway(GatewayAddr); err != nil {
+		return err
+	}
+	hub, err := cloud.NewLocalHub(tb.Clock, ip, tb.rng)
+	if err != nil {
+		return err
+	}
+	tb.LocalHub = hub
+	tb.ServerAddrs["local"] = LocalHubAddr
+	return nil
+}
+
+func (tb *Testbed) addEndpoint(domain string) error {
+	addr := fmt.Sprintf("100.64.%d.10/16", tb.nextWAN)
+	tb.nextWAN++
+	ip := ipnet.NewStack(tb.Clock, tb.Net.NewHost(domain))
+	ip.MustAddIface(tb.WAN, addr)
+	// Return path to the LAN runs through the router's WAN side.
+	tb.addLANRoute(ip)
+	epCfg := cloud.EndpointConfig{Domain: domain}
+	// On-demand vendors reap idle sessions after their profile-specified
+	// server-side timeout (Finding 1's bound).
+	for _, p := range tb.byLabel {
+		if p.ServerDomain == domain && p.ServerIdleTimeout > epCfg.HTTP.SessionIdleTimeout {
+			epCfg.HTTP.SessionIdleTimeout = p.ServerIdleTimeout
+		}
+	}
+	ep, err := cloud.NewEndpointServer(tb.Clock, ip, tb.rng, epCfg)
+	if err != nil {
+		return err
+	}
+	tb.Endpoints[domain] = ep
+	tb.ServerAddrs[domain] = ip.Addr()
+	tb.Integration.AttachEndpoint(ep)
+	return nil
+}
+
+func (tb *Testbed) addLANRoute(ip *ipnet.Stack) {
+	ip.AddRoute(ipaddr.MustParsePrefix("192.168.1.0/24"), routerWANAddr, ip.Ifaces()[0])
+}
+
+func (tb *Testbed) addDevice(p device.Profile) error {
+	hostAddr := fmt.Sprintf("192.168.1.%d/24", tb.nextHost)
+	tb.nextHost++
+	ip := ipnet.NewStack(tb.Clock, tb.Net.NewHost(p.Label))
+	ip.MustAddIface(tb.LAN, hostAddr)
+	if err := ip.SetDefaultGateway(GatewayAddr); err != nil {
+		return err
+	}
+	env := device.Env{
+		Clock: tb.Clock,
+		IP:    ip,
+		TCP:   tcpsim.NewStack(tb.Clock, ip, tcpsim.Config{}, tb.cfg.Seed+int64(tb.nextHost)),
+		RNG:   tb.rng,
+	}
+	switch p.Transport {
+	case device.TransportHAP:
+		env.Server = tb.LocalHub.Addr()
+	default:
+		ep, ok := tb.Endpoints[p.ServerDomain]
+		if !ok {
+			return fmt.Errorf("experiment: no endpoint for domain %q", p.ServerDomain)
+		}
+		env.Server = ep.AddrFor(p.Transport)
+	}
+	d := device.New(env, p)
+	tb.Devices[p.Label] = d
+	tb.DeviceAddrs[p.Label] = ip.Addr()
+	tb.registerAtServer(p, p.Label)
+	return nil
+}
+
+func (tb *Testbed) registerAtServer(p device.Profile, owner string) {
+	ownerProfile := tb.byLabel[owner]
+	if ownerProfile.Transport == device.TransportHAP {
+		tb.LocalHub.RegisterDevice(p)
+		return
+	}
+	if ep, ok := tb.Endpoints[ownerProfile.ServerDomain]; ok {
+		ep.RegisterDevice(p, owner)
+		tb.Integration.RouteDevice(p.Label, ownerProfile.ServerDomain)
+	}
+}
+
+// Start connects every device and runs the clock until sessions settle.
+func (tb *Testbed) Start() {
+	for _, d := range tb.Devices {
+		d.Start()
+	}
+	tb.Clock.RunFor(2 * time.Second)
+}
+
+// Device returns a deployed device by label.
+func (tb *Testbed) Device(label string) *device.Device { return tb.Devices[label] }
+
+// Profile returns the catalog profile for a label.
+func (tb *Testbed) Profile(label string) device.Profile { return tb.byLabel[label] }
+
+// SessionOwner resolves the session-owning device for a label.
+func (tb *Testbed) SessionOwner(label string) *device.Device {
+	p := tb.byLabel[label]
+	if p.Transport == device.TransportViaHub {
+		return tb.Devices[p.ViaHub]
+	}
+	return tb.Devices[label]
+}
+
+// ServerAddrOf returns the address of the server a device talks to.
+func (tb *Testbed) ServerAddrOf(label string) ipaddr.Addr {
+	owner := tb.SessionOwner(label)
+	p := owner.Profile()
+	if p.Transport == device.TransportHAP {
+		return tb.ServerAddrs["local"]
+	}
+	return tb.ServerAddrs[p.ServerDomain]
+}
+
+// TotalAlarmCount sums every server-side alarm in the home.
+func (tb *Testbed) TotalAlarmCount() int {
+	n := tb.Integration.TotalAlarmCount()
+	if tb.LocalHub != nil {
+		n += len(tb.LocalHub.Alarms())
+	}
+	return n
+}

@@ -1,0 +1,19 @@
+package experiment
+
+import "testing"
+
+func TestVerificationHundredPercent(t *testing.T) {
+	// One device per timeout-behaviour family.
+	labels := []string{"C1", "L2", "CM1", "K2", "M7", "A1"}
+	results := RunVerification(labels, VerifyOptions{Seed: 600, Trials: 3})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Label, r.Err)
+			continue
+		}
+		if !r.Perfect() {
+			t.Errorf("%s: avoided %d/%d, accepted %d/%d — paper reports 100%%",
+				r.Label, r.TimeoutsAvoided, r.Trials, r.Accepted, r.Trials)
+		}
+	}
+}

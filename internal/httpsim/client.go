@@ -1,0 +1,226 @@
+package httpsim
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/simtime"
+	"repro/internal/tlssim"
+)
+
+// ClientConfig parameterises the device side of an HTTP-like session.
+type ClientConfig struct {
+	DeviceID string
+	// KeepAlive is the application keep-alive period for long-lived
+	// sessions. Zero disables keep-alives (on-demand sessions).
+	KeepAlive time.Duration
+	// Pattern selects fixed-period or on-idle keep-alives.
+	Pattern proto.Pattern
+	// KeepAliveTimeout bounds the wait for a keep-alive response.
+	// Required when KeepAlive is set.
+	KeepAliveTimeout time.Duration
+	// ResponseTimeout bounds the wait for a normal request's response
+	// (the 408 threshold). Zero means no timeout.
+	ResponseTimeout time.Duration
+	// KeepAliveLen pads keep-alive requests to the device's wire length.
+	KeepAliveLen int
+}
+
+// ErrNotReady reports a request before the session established.
+var ErrNotReady = errors.New("httpsim: session not established")
+
+// KeepAlivePath is the path keep-alive exchanges use.
+const KeepAlivePath = "/keepalive"
+
+// Client is the device side of one HTTP-like session.
+type Client struct {
+	clk  *simtime.Clock
+	sess *tlssim.Conn
+	cfg  ClientConfig
+
+	ready  bool
+	closed bool
+	nextID uint16
+
+	kaTimer   *simtime.Timer
+	deadlines map[uint16]*simtime.Timer
+
+	// OnReady fires when the session is usable.
+	OnReady func()
+	// OnResponse delivers responses to this client's requests.
+	OnResponse func(Message)
+	// OnCommand delivers server-initiated requests. The 200 response is
+	// sent automatically before the callback runs.
+	OnCommand func(Message)
+	// OnClosed fires exactly once when the session ends.
+	OnClosed func(proto.CloseReason)
+}
+
+// NewClient attaches a device-side HTTP client to a TLS session.
+func NewClient(clk *simtime.Clock, sess *tlssim.Conn, cfg ClientConfig) *Client {
+	if cfg.KeepAlive > 0 && cfg.KeepAliveTimeout <= 0 {
+		panic("httpsim: KeepAliveTimeout required when KeepAlive is set")
+	}
+	if cfg.Pattern == 0 {
+		cfg.Pattern = proto.PatternOnIdle
+	}
+	c := &Client{
+		clk:       clk,
+		sess:      sess,
+		cfg:       cfg,
+		nextID:    1,
+		deadlines: make(map[uint16]*simtime.Timer),
+	}
+	sess.OnMessage = c.onMessage
+	sess.OnClose = func(error) { c.teardown(proto.ReasonTransport) }
+	becomeReady := func() {
+		c.ready = true
+		if c.cfg.KeepAlive > 0 {
+			c.armKeepAlive()
+		}
+		if c.OnReady != nil {
+			c.OnReady()
+		}
+	}
+	if sess.Established() {
+		becomeReady()
+	} else {
+		sess.OnEstablished = becomeReady
+	}
+	return c
+}
+
+// Ready reports whether the session is usable.
+func (c *Client) Ready() bool { return c.ready && !c.closed }
+
+// Session returns the underlying TLS connection.
+func (c *Client) Session() *tlssim.Conn { return c.sess }
+
+// Request sends a request padded to padTo bytes. The response timeout is
+// the client's ResponseTimeout; on expiry the session is dropped with
+// ReasonAckTimeout, mirroring a 408.
+func (c *Client) Request(path string, body []byte, padTo int) (uint16, error) {
+	return c.request(path, body, padTo, c.cfg.ResponseTimeout)
+}
+
+func (c *Client) request(path string, body []byte, padTo int, timeout time.Duration) (uint16, error) {
+	if !c.Ready() {
+		return 0, ErrNotReady
+	}
+	id := c.nextID
+	c.nextID++
+	if c.nextID == 0 {
+		c.nextID = 1
+	}
+	m := Message{
+		Type:      MsgRequest,
+		ID:        id,
+		DeviceID:  c.cfg.DeviceID,
+		Path:      path,
+		Body:      body,
+		Timestamp: c.clk.Now(),
+	}
+	if err := c.sess.Send(m.Marshal(padTo)); err != nil {
+		return 0, err
+	}
+	if c.cfg.KeepAlive > 0 && c.cfg.Pattern == proto.PatternOnIdle && path != KeepAlivePath {
+		c.armKeepAlive()
+	}
+	if timeout > 0 {
+		reason := proto.ReasonAckTimeout
+		if path == KeepAlivePath {
+			reason = proto.ReasonKeepAliveTimeout
+		}
+		c.deadlines[id] = c.clk.Schedule(timeout, func() {
+			delete(c.deadlines, id)
+			c.shutdown(reason)
+		})
+	}
+	return id, nil
+}
+
+// Close ends the session gracefully (the on-demand pattern after a
+// completed exchange).
+func (c *Client) Close() {
+	if c.closed {
+		return
+	}
+	c.sess.Close()
+	c.teardown(proto.ReasonGraceful)
+}
+
+func (c *Client) armKeepAlive() {
+	if c.kaTimer != nil {
+		c.kaTimer.Stop()
+	}
+	c.kaTimer = c.clk.Schedule(c.cfg.KeepAlive, c.sendKeepAlive)
+}
+
+func (c *Client) sendKeepAlive() {
+	if c.closed || !c.ready {
+		return
+	}
+	// Keep-alive requests carry their own response deadline.
+	if _, err := c.request(KeepAlivePath, nil, c.cfg.KeepAliveLen, c.cfg.KeepAliveTimeout); err != nil {
+		return
+	}
+	c.armKeepAlive()
+}
+
+func (c *Client) onMessage(b []byte) {
+	m, err := Unmarshal(b)
+	if err != nil {
+		return
+	}
+	switch m.Type {
+	case MsgResponse:
+		if t, ok := c.deadlines[m.ID]; ok {
+			t.Stop()
+			delete(c.deadlines, m.ID)
+		}
+		if m.Path != KeepAlivePath && c.OnResponse != nil {
+			c.OnResponse(m)
+		}
+	case MsgRequest:
+		// Server-initiated command: acknowledge, then hand to the app.
+		resp := Message{
+			Type:      MsgResponse,
+			ID:        m.ID,
+			DeviceID:  c.cfg.DeviceID,
+			Path:      m.Path,
+			Status:    StatusOK,
+			Timestamp: c.clk.Now(),
+		}
+		_ = c.sess.Send(resp.Marshal(0))
+		if c.OnCommand != nil {
+			c.OnCommand(m)
+		}
+	}
+}
+
+func (c *Client) shutdown(reason proto.CloseReason) {
+	if c.closed {
+		return
+	}
+	c.sess.Close()
+	c.teardown(reason)
+}
+
+func (c *Client) teardown(reason proto.CloseReason) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.ready = false
+	if c.kaTimer != nil {
+		c.kaTimer.Stop()
+	}
+	for id, t := range c.deadlines {
+		t.Stop()
+		delete(c.deadlines, id)
+	}
+	if c.OnClosed != nil {
+		c.OnClosed(reason)
+	}
+}

@@ -1,0 +1,102 @@
+// Package ipaddr provides the IPv4-style address type shared by the ARP and
+// IP layers.
+package ipaddr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is a 32-bit network address.
+type Addr uint32
+
+// Parse converts dotted-quad notation to an Addr.
+func Parse(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("ipaddr: %q is not dotted quad", s)
+	}
+	var a Addr
+	for _, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("ipaddr: bad octet in %q: %w", s, err)
+		}
+		a = a<<8 | Addr(v)
+	}
+	return a, nil
+}
+
+// MustParse is Parse for constants; it panics on malformed input.
+func MustParse(s string) Addr {
+	a, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String renders the address in dotted-quad notation.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// IsZero reports whether the address is unset.
+func (a Addr) IsZero() bool { return a == 0 }
+
+// Bytes returns the big-endian 4-byte encoding.
+func (a Addr) Bytes() [4]byte {
+	return [4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}
+}
+
+// FromBytes decodes a big-endian 4-byte address.
+func FromBytes(b [4]byte) Addr {
+	return Addr(b[0])<<24 | Addr(b[1])<<16 | Addr(b[2])<<8 | Addr(b[3])
+}
+
+// Prefix is an address block in CIDR style.
+type Prefix struct {
+	Addr Addr
+	Bits int
+}
+
+// ParsePrefix converts "a.b.c.d/n" to a Prefix.
+func ParsePrefix(s string) (Prefix, error) {
+	addrPart, bitsPart, ok := strings.Cut(s, "/")
+	if !ok {
+		return Prefix{}, fmt.Errorf("ipaddr: %q is not CIDR notation", s)
+	}
+	a, err := Parse(addrPart)
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(bitsPart)
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("ipaddr: bad prefix length in %q", s)
+	}
+	return Prefix{Addr: a, Bits: bits}, nil
+}
+
+// MustParsePrefix is ParsePrefix for constants; it panics on bad input.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Contains reports whether a falls within the prefix.
+func (p Prefix) Contains(a Addr) bool {
+	if p.Bits <= 0 {
+		return true
+	}
+	mask := ^Addr(0) << (32 - p.Bits)
+	return a&mask == p.Addr&mask
+}
+
+// String renders the prefix in CIDR notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", p.Addr, p.Bits)
+}

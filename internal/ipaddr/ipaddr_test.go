@@ -1,0 +1,94 @@
+package ipaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	tests := []string{"0.0.0.0", "192.168.1.1", "10.0.0.254", "255.255.255.255", "8.8.8.8"}
+	for _, s := range tests {
+		a, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if a.String() != s {
+			t.Fatalf("round trip %q -> %q", s, a.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1.2.3.-4"}
+	for _, s := range tests {
+		if _, err := Parse(s); err == nil {
+			t.Fatalf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("not-an-addr")
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		return FromBytes(a.Bytes()) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !Addr(0).IsZero() {
+		t.Fatal("zero addr not detected")
+	}
+	if MustParse("1.0.0.0").IsZero() {
+		t.Fatal("nonzero addr reported zero")
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	tests := []struct {
+		prefix string
+		addr   string
+		want   bool
+	}{
+		{"192.168.1.0/24", "192.168.1.55", true},
+		{"192.168.1.0/24", "192.168.2.55", false},
+		{"10.0.0.0/8", "10.255.0.1", true},
+		{"10.0.0.0/8", "11.0.0.1", false},
+		{"0.0.0.0/0", "1.2.3.4", true},
+		{"192.168.1.7/32", "192.168.1.7", true},
+		{"192.168.1.7/32", "192.168.1.8", false},
+	}
+	for _, tt := range tests {
+		p := MustParsePrefix(tt.prefix)
+		if got := p.Contains(MustParse(tt.addr)); got != tt.want {
+			t.Errorf("%s contains %s = %v, want %v", tt.prefix, tt.addr, got, tt.want)
+		}
+	}
+}
+
+func TestParsePrefixErrors(t *testing.T) {
+	tests := []string{"", "1.2.3.4", "1.2.3.4/33", "1.2.3.4/-1", "1.2.3/24", "1.2.3.4/x"}
+	for _, s := range tests {
+		if _, err := ParsePrefix(s); err == nil {
+			t.Fatalf("ParsePrefix(%q) should fail", s)
+		}
+	}
+}
+
+func TestPrefixString(t *testing.T) {
+	p := MustParsePrefix("192.168.1.0/24")
+	if p.String() != "192.168.1.0/24" {
+		t.Fatalf("String() = %q", p.String())
+	}
+}

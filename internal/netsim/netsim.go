@@ -1,0 +1,271 @@
+// Package netsim models a layer-2 network: broadcast segments (one per
+// WiFi LAN or point-to-point uplink), hosts with NICs, and frame delivery
+// with configurable latency and jitter.
+//
+// The medium is a broadcast domain, like WiFi: every frame is observable by
+// promiscuous NICs and segment taps regardless of its destination MAC. This
+// is what makes the paper's sniffing step possible, and ARP cache poisoning
+// (package arp) is what redirects unicast traffic through an attacker.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// MAC is a 48-bit hardware address.
+type MAC [6]byte
+
+// BroadcastMAC is the all-ones broadcast address.
+var BroadcastMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// IsBroadcast reports whether m is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == BroadcastMAC }
+
+// IsZero reports whether m is the all-zeros (unset) address.
+func (m MAC) IsZero() bool { return m == MAC{} }
+
+// String renders the address in colon-separated hex.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// EtherType identifies the payload protocol of a frame.
+type EtherType uint16
+
+// EtherType values mirror the real registry for the two protocols we carry.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeARP  EtherType = 0x0806
+)
+
+// Frame is a layer-2 frame.
+type Frame struct {
+	Src     MAC
+	Dst     MAC
+	Type    EtherType
+	Payload []byte
+}
+
+// Len returns the frame's size in bytes, counting a fixed 14-byte header.
+func (f Frame) Len() int { return 14 + len(f.Payload) }
+
+// Tap observes every frame delivered on a segment. Taps receive frames at
+// delivery time, after the propagation delay.
+type Tap func(Frame)
+
+// Network owns segments and hosts and assigns deterministic MAC addresses.
+type Network struct {
+	clk    *simtime.Clock
+	rng    *simtime.Rand
+	macSeq uint32
+	hosts  map[string]*Host
+}
+
+// NewNetwork creates a network on the given clock. The seed drives latency
+// jitter; the same seed reproduces the same run.
+func NewNetwork(clk *simtime.Clock, seed int64) *Network {
+	return &Network{
+		clk:   clk,
+		rng:   simtime.NewRand(seed),
+		hosts: make(map[string]*Host),
+	}
+}
+
+// Clock returns the virtual clock the network runs on.
+func (n *Network) Clock() *simtime.Clock { return n.clk }
+
+// NewSegment creates a broadcast segment. Frames experience the given base
+// latency perturbed by the jitter factor (0 disables jitter).
+func (n *Network) NewSegment(name string, latency time.Duration, jitter float64) *Segment {
+	if latency < 0 {
+		latency = 0
+	}
+	return &Segment{net: n, name: name, latency: latency, jitter: jitter}
+}
+
+// NewHost creates a named host. Host names must be unique.
+func (n *Network) NewHost(name string) *Host {
+	if _, dup := n.hosts[name]; dup {
+		panic("netsim: duplicate host name " + name)
+	}
+	h := &Host{net: n, name: name}
+	n.hosts[name] = h
+	return h
+}
+
+// Host returns the host with the given name, or nil.
+func (n *Network) Host(name string) *Host { return n.hosts[name] }
+
+func (n *Network) nextMAC() MAC {
+	n.macSeq++
+	s := n.macSeq
+	// Locally administered unicast prefix 02:00.
+	return MAC{0x02, 0x00, byte(s >> 24), byte(s >> 16), byte(s >> 8), byte(s)}
+}
+
+// Stats counts traffic on a segment or NIC.
+type Stats struct {
+	FramesSent      uint64
+	BytesSent       uint64
+	FramesDelivered uint64
+	FramesDropped   uint64
+}
+
+// Segment is a broadcast domain.
+type Segment struct {
+	net      *Network
+	name     string
+	latency  time.Duration
+	jitter   float64
+	lossRate float64
+	nics     []*NIC
+	taps     []Tap
+	stats    Stats
+}
+
+// SetLossRate makes the segment drop frames uniformly at the given
+// probability (deterministic per seed). Used for failure-injection tests:
+// the phantom-delay attack never drops frames itself, but the TCP layer
+// underneath must survive a lossy medium.
+func (s *Segment) SetLossRate(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	s.lossRate = p
+}
+
+// Name returns the segment's name.
+func (s *Segment) Name() string { return s.name }
+
+// Stats returns a copy of the segment's traffic counters.
+func (s *Segment) Stats() Stats { return s.stats }
+
+// AddTap registers a passive observer of all frames on the segment.
+func (s *Segment) AddTap(t Tap) { s.taps = append(s.taps, t) }
+
+// send delivers f from the given NIC after the propagation delay.
+func (s *Segment) send(from *NIC, f Frame) {
+	// Copy the payload at the boundary so senders cannot mutate frames in
+	// flight.
+	if len(f.Payload) > 0 {
+		p := make([]byte, len(f.Payload))
+		copy(p, f.Payload)
+		f.Payload = p
+	}
+	s.stats.FramesSent++
+	s.stats.BytesSent += uint64(f.Len())
+	if s.lossRate > 0 && s.net.rng.Float64() < s.lossRate {
+		s.stats.FramesDropped++
+		return
+	}
+	delay := s.latency
+	if s.jitter > 0 {
+		delay = s.net.rng.Jitter(s.latency, s.jitter)
+	}
+	s.net.clk.Schedule(delay, func() { s.deliver(from, f) })
+}
+
+func (s *Segment) deliver(from *NIC, f Frame) {
+	for _, t := range s.taps {
+		t(f)
+	}
+	delivered := false
+	for _, nic := range s.nics {
+		if nic == from || nic.handler == nil || nic.down {
+			continue
+		}
+		if f.Dst.IsBroadcast() || nic.mac == f.Dst || nic.promiscuous {
+			nic.stats.FramesDelivered++
+			nic.handler(nic, f)
+			delivered = true
+		}
+	}
+	if delivered {
+		s.stats.FramesDelivered++
+	} else {
+		s.stats.FramesDropped++
+	}
+}
+
+// Host is a machine with one or more NICs.
+type Host struct {
+	net  *Network
+	name string
+	nics []*NIC
+}
+
+// Name returns the host's name.
+func (h *Host) Name() string { return h.name }
+
+// Network returns the network the host belongs to.
+func (h *Host) Network() *Network { return h.net }
+
+// NICs returns the host's interfaces in attachment order.
+func (h *Host) NICs() []*NIC {
+	out := make([]*NIC, len(h.nics))
+	copy(out, h.nics)
+	return out
+}
+
+// AttachNIC connects the host to a segment with a fresh MAC address.
+func (h *Host) AttachNIC(seg *Segment) *NIC {
+	nic := &NIC{host: h, seg: seg, mac: h.net.nextMAC()}
+	h.nics = append(h.nics, nic)
+	seg.nics = append(seg.nics, nic)
+	return nic
+}
+
+// NIC is a network interface on a segment.
+type NIC struct {
+	host        *Host
+	seg         *Segment
+	mac         MAC
+	handler     func(*NIC, Frame)
+	promiscuous bool
+	down        bool
+	stats       Stats
+}
+
+// MAC returns the interface's hardware address.
+func (nic *NIC) MAC() MAC { return nic.mac }
+
+// Host returns the owning host.
+func (nic *NIC) Host() *Host { return nic.host }
+
+// Segment returns the attached segment.
+func (nic *NIC) Segment() *Segment { return nic.seg }
+
+// Stats returns a copy of the NIC's counters.
+func (nic *NIC) Stats() Stats { return nic.stats }
+
+// SetHandler installs the receive callback. Frames arriving while no
+// handler is installed are dropped.
+func (nic *NIC) SetHandler(fn func(*NIC, Frame)) { nic.handler = fn }
+
+// SetPromiscuous toggles delivery of frames addressed to other stations.
+// An attacker NIC uses this to sniff the WiFi medium.
+func (nic *NIC) SetPromiscuous(on bool) { nic.promiscuous = on }
+
+// SetDown toggles the interface administratively down (drops rx and tx).
+func (nic *NIC) SetDown(down bool) { nic.down = down }
+
+// Send transmits a frame on the segment. If f.Src is zero it is stamped
+// with the NIC's own MAC; a non-zero Src is sent as-is, which is what
+// permits spoofing.
+func (nic *NIC) Send(f Frame) {
+	if nic.down {
+		return
+	}
+	if f.Src.IsZero() {
+		f.Src = nic.mac
+	}
+	nic.stats.FramesSent++
+	nic.stats.BytesSent += uint64(f.Len())
+	nic.seg.send(nic, f)
+}

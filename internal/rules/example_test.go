@@ -1,0 +1,44 @@
+package rules_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rules"
+	"repro/internal/simtime"
+)
+
+func ExampleParse() {
+	r, err := rules.Parse(`lock-up: WHEN P1.presence=away IF LK1.lock=unlocked THEN LK1.lock=locked`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("name:", r.Name)
+	fmt.Println("trigger:", r.Trigger)
+	fmt.Println("condition:", r.Condition)
+	fmt.Println("action:", r.Actions[0])
+	// Output:
+	// name: lock-up
+	// trigger: P1.presence=away
+	// condition: LK1.lock==unlocked
+	// action: command(LK1.lock=locked)
+}
+
+func ExampleEngine_HandleEvent() {
+	clk := simtime.NewClock()
+	e := rules.NewEngine(clk)
+	e.Execute = func(a rules.Action, cause rules.Event) {
+		fmt.Printf("fired %v because %s.%s=%s\n", a, cause.Device, cause.Attribute, cause.Value)
+	}
+	if err := e.AddRule(rules.MustParse(`alert: WHEN SD1.smoke=detected THEN NOTIFY "smoke!"`)); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	e.HandleEvent(rules.Event{
+		Device: "SD1", Attribute: "smoke", Value: "detected",
+		GeneratedAt: 5 * time.Second, ReceivedAt: 5 * time.Second,
+	})
+	// Output:
+	// fired notify("smoke!") because SD1.smoke=detected
+}

@@ -1,0 +1,21 @@
+package rules
+
+import "testing"
+
+// FuzzParse: arbitrary rule text must never panic, and every accepted rule
+// must validate.
+func FuzzParse(f *testing.F) {
+	f.Add(`r: WHEN A.b=c THEN D.e=f`)
+	f.Add(`r: WHEN A.b=* IF X.y=z AND NOT P.q=r THEN NOTIFY "m" AND D.e=f`)
+	f.Add(`garbage`)
+	f.Add(`: WHEN . THEN`)
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("accepted rule fails validation: %v (%q)", err, s)
+		}
+	})
+}

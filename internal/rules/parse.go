@@ -1,0 +1,178 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse converts the textual TCA form into a Rule:
+//
+//	NAME: WHEN dev.attr=value [IF cond [AND cond ...]] THEN action [AND action ...]
+//
+// where cond is dev.attr=value or NOT dev.attr=value, and action is either
+// dev.attr=value (a command) or NOTIFY "message". Examples:
+//
+//	lock-up: WHEN P1.presence=away IF LK1.lock=unlocked THEN LK1.lock=locked
+//	alert:   WHEN SD1.smoke=detected THEN NOTIFY "smoke!" AND V1.valve=closed
+//
+// The trigger value may be * to match any change.
+func Parse(s string) (Rule, error) {
+	var r Rule
+	name, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return r, fmt.Errorf("rules: missing name separator ':' in %q", s)
+	}
+	r.Name = strings.TrimSpace(name)
+
+	rest = strings.TrimSpace(rest)
+	if !hasPrefixFold(rest, "WHEN ") {
+		return r, fmt.Errorf("rules: rule %q must start with WHEN", r.Name)
+	}
+	rest = rest[len("WHEN "):]
+
+	// Split off THEN first (IF is optional).
+	condAndTrigger, actionsText, ok := cutFold(rest, " THEN ")
+	if !ok {
+		return r, fmt.Errorf("rules: rule %q has no THEN clause", r.Name)
+	}
+	triggerText := condAndTrigger
+	if before, condText, hasIf := cutFold(condAndTrigger, " IF "); hasIf {
+		triggerText = before
+		cond, err := parseConditions(condText)
+		if err != nil {
+			return r, fmt.Errorf("rules: rule %q: %w", r.Name, err)
+		}
+		r.Condition = cond
+	}
+
+	trig, err := parseAssignment(strings.TrimSpace(triggerText))
+	if err != nil {
+		return r, fmt.Errorf("rules: rule %q trigger: %w", r.Name, err)
+	}
+	r.Trigger = Trigger{Device: trig.device, Attribute: trig.attribute, Value: trig.value}
+	if r.Trigger.Value == "*" {
+		r.Trigger.Value = ""
+	}
+
+	for _, part := range splitFold(actionsText, " AND ") {
+		a, err := parseAction(strings.TrimSpace(part))
+		if err != nil {
+			return r, fmt.Errorf("rules: rule %q action: %w", r.Name, err)
+		}
+		r.Actions = append(r.Actions, a)
+	}
+	if err := r.Validate(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// MustParse is Parse for fixtures; it panics on error.
+func MustParse(s string) Rule {
+	r, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+type assignment struct {
+	device    string
+	attribute string
+	value     string
+}
+
+func parseAssignment(s string) (assignment, error) {
+	var a assignment
+	devAttr, value, ok := strings.Cut(s, "=")
+	if !ok {
+		return a, fmt.Errorf("%q is not dev.attr=value", s)
+	}
+	dev, attr, ok := strings.Cut(strings.TrimSpace(devAttr), ".")
+	if !ok || dev == "" || attr == "" {
+		return a, fmt.Errorf("%q is not dev.attr=value", s)
+	}
+	a.device = strings.TrimSpace(dev)
+	a.attribute = strings.TrimSpace(attr)
+	a.value = strings.TrimSpace(value)
+	if a.value == "" {
+		return a, fmt.Errorf("%q has an empty value", s)
+	}
+	return a, nil
+}
+
+func parseConditions(s string) (Condition, error) {
+	parts := splitFold(s, " AND ")
+	conds := make([]Condition, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		negated := false
+		if hasPrefixFold(part, "NOT ") {
+			negated = true
+			part = strings.TrimSpace(part[len("NOT "):])
+		}
+		a, err := parseAssignment(part)
+		if err != nil {
+			return nil, err
+		}
+		var c Condition = Eq{Device: a.device, Attribute: a.attribute, Value: a.value}
+		if negated {
+			c = Not{C: c}
+		}
+		conds = append(conds, c)
+	}
+	if len(conds) == 1 {
+		return conds[0], nil
+	}
+	return And(conds), nil
+}
+
+func parseAction(s string) (Action, error) {
+	if hasPrefixFold(s, "NOTIFY ") {
+		msg := strings.TrimSpace(s[len("NOTIFY "):])
+		msg = strings.Trim(msg, `"`)
+		if msg == "" {
+			return Action{}, fmt.Errorf("empty NOTIFY message")
+		}
+		return Action{Kind: ActionNotify, Message: msg}, nil
+	}
+	a, err := parseAssignment(s)
+	if err != nil {
+		return Action{}, err
+	}
+	return Action{Kind: ActionCommand, Device: a.device, Attribute: a.attribute, Value: a.value}, nil
+}
+
+func hasPrefixFold(s, prefix string) bool {
+	return len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix)
+}
+
+// cutFold is strings.Cut with a case-insensitive separator.
+func cutFold(s, sep string) (before, after string, found bool) {
+	idx := indexFold(s, sep)
+	if idx < 0 {
+		return s, "", false
+	}
+	return s[:idx], s[idx+len(sep):], true
+}
+
+func splitFold(s, sep string) []string {
+	var out []string
+	for {
+		before, after, found := cutFold(s, sep)
+		out = append(out, before)
+		if !found {
+			return out
+		}
+		s = after
+	}
+}
+
+func indexFold(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if strings.EqualFold(s[i:i+len(sub)], sub) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,133 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestParseFullRule(t *testing.T) {
+	r, err := Parse(`lock-up: WHEN P1.presence=away IF LK1.lock=unlocked THEN LK1.lock=locked`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "lock-up" {
+		t.Fatalf("name = %q", r.Name)
+	}
+	if r.Trigger != (Trigger{Device: "P1", Attribute: "presence", Value: "away"}) {
+		t.Fatalf("trigger = %+v", r.Trigger)
+	}
+	eq, ok := r.Condition.(Eq)
+	if !ok || eq != (Eq{Device: "LK1", Attribute: "lock", Value: "unlocked"}) {
+		t.Fatalf("condition = %+v", r.Condition)
+	}
+	if len(r.Actions) != 1 || r.Actions[0] != (Action{Kind: ActionCommand, Device: "LK1", Attribute: "lock", Value: "locked"}) {
+		t.Fatalf("actions = %+v", r.Actions)
+	}
+}
+
+func TestParseUnconditionalNotify(t *testing.T) {
+	r, err := Parse(`alert: WHEN SD1.smoke=detected THEN NOTIFY "smoke!"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Condition != nil {
+		t.Fatal("condition should be nil")
+	}
+	if len(r.Actions) != 1 || r.Actions[0].Kind != ActionNotify || r.Actions[0].Message != "smoke!" {
+		t.Fatalf("actions = %+v", r.Actions)
+	}
+}
+
+func TestParseMultipleActionsAndConditions(t *testing.T) {
+	r, err := Parse(`combo: WHEN W1.water=wet IF H3.mode=away AND NOT P1.presence=present THEN V1.valve=closed AND NOTIFY "leak"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := r.Condition.(And)
+	if !ok || len(and) != 2 {
+		t.Fatalf("condition = %+v", r.Condition)
+	}
+	if _, ok := and[1].(Not); !ok {
+		t.Fatalf("second condition should be negated: %+v", and[1])
+	}
+	if len(r.Actions) != 2 || r.Actions[0].Kind != ActionCommand || r.Actions[1].Kind != ActionNotify {
+		t.Fatalf("actions = %+v", r.Actions)
+	}
+}
+
+func TestParseWildcardTrigger(t *testing.T) {
+	r, err := Parse(`any: WHEN T1.heating=* THEN NOTIFY "changed"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trigger.Value != "" {
+		t.Fatalf("wildcard trigger value = %q, want empty", r.Trigger.Value)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	r, err := Parse(`k: when A.b=c if D.e=f then G.h=i`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trigger.Device != "A" || r.Actions[0].Device != "G" {
+		t.Fatalf("parsed = %+v", r)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`no-colon WHEN A.b=c THEN D.e=f`,
+		`n: A.b=c THEN D.e=f`,            // missing WHEN
+		`n: WHEN A.b=c`,                  // missing THEN
+		`n: WHEN Ab=c THEN D.e=f`,        // trigger not dev.attr
+		`n: WHEN A.b=c THEN De=f`,        // action not dev.attr
+		`n: WHEN A.b=c THEN NOTIFY ""`,   // empty notify
+		`n: WHEN A.b=c IF Xy THEN D.e=f`, // bad condition
+		`n: WHEN A.b= THEN D.e=f`,        // empty value
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("garbage")
+}
+
+func TestParsedRuleExecutes(t *testing.T) {
+	e := NewEngine(simtime.NewClock())
+	fired := 0
+	e.Execute = func(Action, Event) { fired++ }
+	if err := e.AddRule(MustParse(`r: WHEN D.a=1 IF C.x=ok THEN NOTIFY "go"`)); err != nil {
+		t.Fatal(err)
+	}
+	e.HandleEvent(Event{Device: "C", Attribute: "x", Value: "ok"})
+	e.HandleEvent(Event{Device: "D", Attribute: "a", Value: "1"})
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+}
+
+func TestParseRoundTripStrings(t *testing.T) {
+	// The String forms of parsed pieces are stable and readable.
+	r := MustParse(`x: WHEN A.b=c IF D.e=f AND NOT G.h=i THEN NOTIFY "m"`)
+	if got := r.Trigger.String(); got != "A.b=c" {
+		t.Fatalf("trigger string = %q", got)
+	}
+	if got := r.Condition.String(); got != "(D.e==f && !(G.h==i))" {
+		t.Fatalf("condition string = %q", got)
+	}
+	if got := r.Actions[0].String(); got != `notify("m")` {
+		t.Fatalf("action string = %q", got)
+	}
+}

@@ -1,0 +1,146 @@
+package rules
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+// randomStore builds a store from fuzz input: attribute i of device "D<i>"
+// gets value "0" or "1".
+func randomStore(bits []bool) *Store {
+	s := NewStore()
+	for i, b := range bits {
+		v := "0"
+		if b {
+			v = "1"
+		}
+		s.Set(deviceName(i), "a", v, 0)
+	}
+	return s
+}
+
+func deviceName(i int) string { return string(rune('A' + i%20)) }
+
+func condFor(i int) Condition {
+	return Eq{Device: deviceName(i), Attribute: "a", Value: "1"}
+}
+
+// Property: De Morgan — !(p && q) == (!p || !q) over random stores.
+func TestPropertyDeMorgan(t *testing.T) {
+	f := func(bits []bool, i, j uint8) bool {
+		if len(bits) == 0 {
+			bits = []bool{true}
+		}
+		s := randomStore(bits)
+		p, q := condFor(int(i)), condFor(int(j))
+		left := Not{And{p, q}}
+		right := Or{Not{p}, Not{q}}
+		return left.Eval(s) == right.Eval(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: double negation is identity.
+func TestPropertyDoubleNegation(t *testing.T) {
+	f := func(bits []bool, i uint8) bool {
+		if len(bits) == 0 {
+			bits = []bool{false}
+		}
+		s := randomStore(bits)
+		p := condFor(int(i))
+		return p.Eval(s) == (Not{Not{p}}).Eval(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: And is commutative and Or distributes over And.
+func TestPropertyDistribution(t *testing.T) {
+	f := func(bits []bool, i, j, k uint8) bool {
+		if len(bits) == 0 {
+			bits = []bool{true, false}
+		}
+		s := randomStore(bits)
+		p, q, r := condFor(int(i)), condFor(int(j)), condFor(int(k))
+		if (And{p, q}).Eval(s) != (And{q, p}).Eval(s) {
+			return false
+		}
+		left := Or{p, And{q, r}}
+		right := And{Or{p, q}, Or{p, r}}
+		return left.Eval(s) == right.Eval(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: empty And is true, empty Or is false (the usual identities).
+func TestEmptyCombinators(t *testing.T) {
+	s := NewStore()
+	if !(And{}).Eval(s) {
+		t.Fatal("empty And should be true")
+	}
+	if (Or{}).Eval(s) {
+		t.Fatal("empty Or should be false")
+	}
+}
+
+// Property: the engine fires exactly the number of matching rule-action
+// pairs for a random event stream against value-matching rules.
+func TestPropertyEngineFiringCount(t *testing.T) {
+	f := func(values []bool) bool {
+		clk := simtime.NewClock()
+		e := NewEngine(clk)
+		fired := 0
+		e.Execute = func(Action, Event) { fired++ }
+		if err := e.AddRule(Rule{
+			Name:    "r",
+			Trigger: Trigger{Device: "D", Attribute: "a", Value: "1"},
+			Actions: []Action{{Kind: ActionNotify, Message: "m"}},
+		}); err != nil {
+			return false
+		}
+		want := 0
+		for _, b := range values {
+			v := "0"
+			if b {
+				v = "1"
+				want++
+			}
+			e.HandleEvent(Event{Device: "D", Attribute: "a", Value: v})
+		}
+		return fired == want && len(e.Trace()) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: store reads return exactly the last write per key.
+func TestPropertyStoreLastWriteWins(t *testing.T) {
+	f := func(writes []uint8) bool {
+		s := NewStore()
+		last := map[string]string{}
+		for i, w := range writes {
+			dev := deviceName(int(w))
+			val := string(rune('0' + w%10))
+			s.Set(dev, "a", val, simtime.Time(i))
+			last[dev] = val
+		}
+		for dev, want := range last {
+			got, _, ok := s.Get(dev, "a")
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+package rules
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func ev(device, attr, value string, at simtime.Time) Event {
+	return Event{Device: device, Attribute: attr, Value: value, GeneratedAt: at, ReceivedAt: at}
+}
+
+func TestTriggerFiresUnconditionalRule(t *testing.T) {
+	clk := simtime.NewClock()
+	e := NewEngine(clk)
+	var fired []Action
+	e.Execute = func(a Action, _ Event) { fired = append(fired, a) }
+	if err := e.AddRule(Rule{
+		Name:    "notify-on-open",
+		Trigger: Trigger{Device: "C1", Attribute: "contact", Value: "open"},
+		Actions: []Action{{Kind: ActionNotify, Message: "front door opened"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.HandleEvent(ev("C1", "contact", "open", time.Second))
+	if len(fired) != 1 || fired[0].Message != "front door opened" {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestTriggerValueMustMatch(t *testing.T) {
+	e := NewEngine(simtime.NewClock())
+	fired := 0
+	e.Execute = func(Action, Event) { fired++ }
+	_ = e.AddRule(Rule{
+		Name:    "r",
+		Trigger: Trigger{Device: "C1", Attribute: "contact", Value: "open"},
+		Actions: []Action{{Kind: ActionNotify, Message: "m"}},
+	})
+	e.HandleEvent(ev("C1", "contact", "closed", time.Second))
+	e.HandleEvent(ev("C1", "motion", "open", time.Second))
+	e.HandleEvent(ev("C2", "contact", "open", time.Second))
+	if fired != 0 {
+		t.Fatalf("fired = %d, want 0", fired)
+	}
+}
+
+func TestWildcardTriggerValue(t *testing.T) {
+	e := NewEngine(simtime.NewClock())
+	fired := 0
+	e.Execute = func(Action, Event) { fired++ }
+	_ = e.AddRule(Rule{
+		Name:    "any-change",
+		Trigger: Trigger{Device: "T1", Attribute: "heating"},
+		Actions: []Action{{Kind: ActionNotify, Message: "m"}},
+	})
+	e.HandleEvent(ev("T1", "heating", "on", 0))
+	e.HandleEvent(ev("T1", "heating", "off", 0))
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestConditionGatesAction(t *testing.T) {
+	e := NewEngine(simtime.NewClock())
+	fired := 0
+	e.Execute = func(Action, Event) { fired++ }
+	// Case 8 shape: when storm door opens, if user present, unlock.
+	_ = e.AddRule(Rule{
+		Name:      "unlock-when-home",
+		Trigger:   Trigger{Device: "S", Attribute: "contact", Value: "open"},
+		Condition: Eq{Device: "P1", Attribute: "presence", Value: "present"},
+		Actions:   []Action{{Kind: ActionCommand, Device: "LK1", Attribute: "lock", Value: "unlocked"}},
+	})
+	// Presence unknown: condition false.
+	e.HandleEvent(ev("S", "contact", "open", 0))
+	if fired != 0 {
+		t.Fatal("condition with unknown state should be false")
+	}
+	e.HandleEvent(ev("P1", "presence", "present", time.Second))
+	e.HandleEvent(ev("S", "contact", "open", 2*time.Second))
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	e.HandleEvent(ev("P1", "presence", "away", 3*time.Second))
+	e.HandleEvent(ev("S", "contact", "open", 4*time.Second))
+	if fired != 1 {
+		t.Fatalf("fired = %d after presence away, want still 1", fired)
+	}
+}
+
+func TestStaleConditionIsTheAttackSurface(t *testing.T) {
+	// The Type-III mechanism in miniature: the condition reads *received*
+	// state, so delaying the presence-off event leaves the condition true.
+	e := NewEngine(simtime.NewClock())
+	fired := 0
+	e.Execute = func(Action, Event) { fired++ }
+	_ = e.AddRule(Rule{
+		Name:      "unlock-when-home",
+		Trigger:   Trigger{Device: "S", Attribute: "contact", Value: "open"},
+		Condition: Eq{Device: "P1", Attribute: "presence", Value: "present"},
+		Actions:   []Action{{Kind: ActionCommand, Device: "LK1", Attribute: "lock", Value: "unlocked"}},
+	})
+	e.HandleEvent(ev("P1", "presence", "present", 0))
+	// Physically the user left at t=10s, but that event is delayed and the
+	// trigger arrives first.
+	e.HandleEvent(ev("S", "contact", "open", 12*time.Second))
+	if fired != 1 {
+		t.Fatal("spurious execution expected: server still believes user is present")
+	}
+	// The delayed event finally lands; too late.
+	e.HandleEvent(Event{Device: "P1", Attribute: "presence", Value: "away", GeneratedAt: 10 * time.Second, ReceivedAt: 40 * time.Second})
+	if fired != 1 {
+		t.Fatal("late event must not retroactively fire anything")
+	}
+}
+
+func TestNotCondition(t *testing.T) {
+	e := NewEngine(simtime.NewClock())
+	fired := 0
+	e.Execute = func(Action, Event) { fired++ }
+	_ = e.AddRule(Rule{
+		Name:      "r",
+		Trigger:   Trigger{Device: "M1", Attribute: "motion", Value: "active"},
+		Condition: Not{Eq{Device: "P1", Attribute: "presence", Value: "present"}},
+		Actions:   []Action{{Kind: ActionNotify, Message: "intruder"}},
+	})
+	e.HandleEvent(ev("P1", "presence", "present", 0))
+	e.HandleEvent(ev("M1", "motion", "active", time.Second))
+	if fired != 0 {
+		t.Fatal("Not condition should be false while present")
+	}
+	e.HandleEvent(ev("P1", "presence", "away", 2*time.Second))
+	e.HandleEvent(ev("M1", "motion", "active", 3*time.Second))
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestAndOrConditions(t *testing.T) {
+	e := NewEngine(simtime.NewClock())
+	fired := 0
+	e.Execute = func(Action, Event) { fired++ }
+	cond := And{
+		Eq{Device: "A", Attribute: "x", Value: "1"},
+		Or{
+			Eq{Device: "B", Attribute: "y", Value: "2"},
+			Eq{Device: "C", Attribute: "z", Value: "3"},
+		},
+	}
+	_ = e.AddRule(Rule{
+		Name:      "combo",
+		Trigger:   Trigger{Device: "T", Attribute: "go", Value: "now"},
+		Condition: cond,
+		Actions:   []Action{{Kind: ActionNotify, Message: "m"}},
+	})
+	e.HandleEvent(ev("A", "x", "1", 0))
+	e.HandleEvent(ev("T", "go", "now", 0))
+	if fired != 0 {
+		t.Fatal("Or branch unsatisfied; should not fire")
+	}
+	e.HandleEvent(ev("C", "z", "3", 0))
+	e.HandleEvent(ev("T", "go", "now", 0))
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestTriggerUpdateVisibleToCondition(t *testing.T) {
+	// The triggering event's own update is part of the evaluated state.
+	e := NewEngine(simtime.NewClock())
+	fired := 0
+	e.Execute = func(Action, Event) { fired++ }
+	_ = e.AddRule(Rule{
+		Name:      "self",
+		Trigger:   Trigger{Device: "D", Attribute: "a", Value: "v"},
+		Condition: Eq{Device: "D", Attribute: "a", Value: "v"},
+		Actions:   []Action{{Kind: ActionNotify, Message: "m"}},
+	})
+	e.HandleEvent(ev("D", "a", "v", 0))
+	if fired != 1 {
+		t.Fatal("trigger's own update should satisfy the condition")
+	}
+}
+
+func TestMultipleActions(t *testing.T) {
+	e := NewEngine(simtime.NewClock())
+	var kinds []ActionKind
+	e.Execute = func(a Action, _ Event) { kinds = append(kinds, a.Kind) }
+	_ = e.AddRule(Rule{
+		Name:    "both",
+		Trigger: Trigger{Device: "W1", Attribute: "water", Value: "wet"},
+		Actions: []Action{
+			{Kind: ActionCommand, Device: "V1", Attribute: "valve", Value: "closed"},
+			{Kind: ActionNotify, Message: "leak!"},
+		},
+	})
+	e.HandleEvent(ev("W1", "water", "wet", 0))
+	if len(kinds) != 2 || kinds[0] != ActionCommand || kinds[1] != ActionNotify {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestTraceRecordsExecutions(t *testing.T) {
+	clk := simtime.NewClock()
+	e := NewEngine(clk)
+	_ = e.AddRule(Rule{
+		Name:    "r1",
+		Trigger: Trigger{Device: "D", Attribute: "a", Value: "v"},
+		Actions: []Action{{Kind: ActionNotify, Message: "m"}},
+	})
+	clk.RunUntil(5 * time.Second)
+	e.HandleEvent(ev("D", "a", "v", 5*time.Second))
+	tr := e.Trace()
+	if len(tr) != 1 || tr[0].Rule != "r1" || tr[0].At != 5*time.Second {
+		t.Fatalf("trace = %v", tr)
+	}
+	if len(e.Executions("r1")) != 1 || len(e.Executions("nope")) != 0 {
+		t.Fatal("Executions filter wrong")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Rule{
+		{},
+		{Name: "x"},
+		{Name: "x", Trigger: Trigger{Device: "D", Attribute: "a"}},
+		{Name: "x", Trigger: Trigger{Device: "D", Attribute: "a"},
+			Actions: []Action{{Kind: ActionCommand}}},
+		{Name: "x", Trigger: Trigger{Device: "D", Attribute: "a"},
+			Actions: []Action{{Kind: ActionNotify}}},
+		{Name: "x", Trigger: Trigger{Device: "D", Attribute: "a"},
+			Actions: []Action{{}}},
+	}
+	e := NewEngine(simtime.NewClock())
+	for i, r := range bad {
+		if err := e.AddRule(r); err == nil {
+			t.Fatalf("rule %d should fail validation", i)
+		}
+	}
+	if err := e.AddRule(Rule{
+		Name:    "ok",
+		Trigger: Trigger{Device: "D", Attribute: "a"},
+		Actions: []Action{{Kind: ActionCommand, Device: "X", Attribute: "y", Value: "z"}},
+	}); err != nil {
+		t.Fatalf("valid rule rejected: %v", err)
+	}
+}
+
+func TestStoreGetSet(t *testing.T) {
+	s := NewStore()
+	if _, _, ok := s.Get("D", "a"); ok {
+		t.Fatal("empty store should miss")
+	}
+	s.Set("D", "a", "v", 7*time.Second)
+	v, at, ok := s.Get("D", "a")
+	if !ok || v != "v" || at != 7*time.Second {
+		t.Fatalf("got %v %v %v", v, at, ok)
+	}
+}
+
+func TestConditionStrings(t *testing.T) {
+	c := And{Eq{"A", "x", "1"}, Not{Or{Eq{"B", "y", "2"}}}}
+	want := "(A.x==1 && !((B.y==2)))"
+	if c.String() != want {
+		t.Fatalf("String() = %q, want %q", c.String(), want)
+	}
+}

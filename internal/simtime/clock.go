@@ -1,0 +1,233 @@
+// Package simtime provides a deterministic discrete-event virtual clock.
+//
+// All simulation components schedule callbacks on a Clock instead of using
+// real time. Events execute in strict timestamp order (FIFO among equal
+// timestamps), so a simulation run is reproducible bit-for-bit and hours of
+// virtual time execute in milliseconds of wall time.
+//
+// The Clock is intentionally single-threaded: callbacks run on the goroutine
+// that calls Step, Run, RunUntil or RunFor. Simulation code therefore needs
+// no locking, which both simplifies the protocol state machines built on top
+// and guarantees determinism.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an instant of virtual time, measured as an offset from the start
+// of the simulation.
+type Time = time.Duration
+
+// Clock is a virtual clock with an event queue. The zero value is not
+// usable; create one with NewClock.
+type Clock struct {
+	now      Time
+	events   eventHeap
+	seq      uint64
+	inEvent  bool
+	maxSteps uint64
+	steps    uint64
+}
+
+// NewClock returns a Clock starting at virtual time zero.
+func NewClock() *Clock {
+	return &Clock{maxSteps: defaultMaxSteps}
+}
+
+// defaultMaxSteps bounds a single Run call as a guard against runaway event
+// loops (e.g. two components rescheduling each other at the same instant).
+const defaultMaxSteps = 200_000_000
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// SetStepLimit overrides the runaway-loop guard. A limit of 0 restores the
+// default.
+func (c *Clock) SetStepLimit(n uint64) {
+	if n == 0 {
+		n = defaultMaxSteps
+	}
+	c.maxSteps = n
+}
+
+// Schedule runs fn after delay d. A non-positive delay schedules fn at the
+// current instant; it still runs after the current callback returns.
+// The returned Timer may be used to cancel the callback.
+func (c *Clock) Schedule(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return c.At(c.now+d, fn)
+}
+
+// At runs fn at virtual time t. If t is in the past it runs at the current
+// instant.
+func (c *Clock) At(t Time, fn func()) *Timer {
+	if fn == nil {
+		panic("simtime: At called with nil callback")
+	}
+	if t < c.now {
+		t = c.now
+	}
+	ev := &event{when: t, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.events, ev)
+	return &Timer{clock: c, ev: ev}
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (c *Clock) Step() bool {
+	for c.events.Len() > 0 {
+		ev, ok := heap.Pop(&c.events).(*event)
+		if !ok {
+			panic("simtime: corrupt event heap")
+		}
+		if ev.cancelled {
+			continue
+		}
+		c.now = ev.when
+		c.runEvent(ev)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (c *Clock) Run() {
+	for c.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t. Events scheduled after t remain pending.
+func (c *Clock) RunUntil(t Time) {
+	for {
+		ev := c.peek()
+		if ev == nil || ev.when > t {
+			break
+		}
+		c.Step()
+	}
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// RunFor executes events within the next d of virtual time, then advances
+// the clock by exactly d from its value at the call.
+func (c *Clock) RunFor(d time.Duration) {
+	c.RunUntil(c.now + d)
+}
+
+// Pending reports the number of scheduled, uncancelled events.
+func (c *Clock) Pending() int {
+	n := 0
+	for _, ev := range c.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// NextEventAt returns the timestamp of the next pending event and whether
+// one exists.
+func (c *Clock) NextEventAt() (Time, bool) {
+	ev := c.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.when, true
+}
+
+func (c *Clock) peek() *event {
+	for c.events.Len() > 0 {
+		ev := c.events[0]
+		if ev.cancelled {
+			heap.Pop(&c.events)
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+func (c *Clock) runEvent(ev *event) {
+	c.steps++
+	if c.steps > c.maxSteps {
+		panic(fmt.Sprintf("simtime: step limit %d exceeded at t=%v (runaway event loop?)", c.maxSteps, c.now))
+	}
+	if c.inEvent {
+		panic("simtime: reentrant event execution")
+	}
+	c.inEvent = true
+	defer func() { c.inEvent = false }()
+	ev.fn()
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer struct {
+	clock *Clock
+	ev    *event
+}
+
+// Stop cancels the callback. It reports whether the callback was still
+// pending (false if it already ran or was already stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.done {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// When returns the virtual time the callback is (or was) scheduled for.
+func (t *Timer) When() Time { return t.ev.when }
+
+// Active reports whether the callback is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.done
+}
+
+type event struct {
+	when      Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	done      bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		panic("simtime: push of non-event")
+	}
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	ev.done = true
+	return ev
+}

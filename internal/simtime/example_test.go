@@ -1,0 +1,35 @@
+package simtime_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func ExampleClock() {
+	clk := simtime.NewClock()
+	clk.Schedule(2*time.Second, func() {
+		fmt.Println("two seconds in, virtual time:", clk.Now())
+	})
+	tick := simtime.NewTicker(clk, time.Second, func() {
+		fmt.Println("tick at", clk.Now())
+	})
+	clk.RunUntil(2 * time.Second)
+	tick.Stop()
+	// Output:
+	// tick at 1s
+	// two seconds in, virtual time: 2s
+	// tick at 2s
+}
+
+func ExampleTimer_Stop() {
+	clk := simtime.NewClock()
+	t := clk.Schedule(time.Second, func() { fmt.Println("never runs") })
+	fmt.Println("stopped:", t.Stop())
+	clk.Run()
+	fmt.Println("done at", clk.Now())
+	// Output:
+	// stopped: true
+	// done at 0s
+}

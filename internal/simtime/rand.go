@@ -1,0 +1,65 @@
+package simtime
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Rand is a deterministic random source for simulations. It wraps math/rand
+// seeded explicitly so that every run with the same seed produces the same
+// event sequence.
+type Rand struct {
+	r *rand.Rand
+}
+
+// NewRand returns a deterministic source for the given seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{r: rand.New(rand.NewSource(seed))}
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int { return r.r.Intn(n) }
+
+// Int63 returns a non-negative uniform int64.
+func (r *Rand) Int63() int64 { return r.r.Int63() }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 { return r.r.Float64() }
+
+// Duration returns a uniform duration in [0, d). A non-positive d yields 0.
+func (r *Rand) Duration(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(r.r.Int63n(int64(d)))
+}
+
+// DurationRange returns a uniform duration in [lo, hi). If hi <= lo it
+// returns lo.
+func (r *Rand) DurationRange(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Duration(hi-lo)
+}
+
+// Jitter returns d perturbed by a uniform factor in [1-f, 1+f]. The factor
+// f is clamped to [0, 1].
+func (r *Rand) Jitter(d time.Duration, f float64) time.Duration {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	scale := 1 - f + 2*f*r.r.Float64()
+	return time.Duration(float64(d) * scale)
+}
+
+// Bytes fills b with deterministic pseudo-random bytes.
+func (r *Rand) Bytes(b []byte) {
+	if _, err := r.r.Read(b); err != nil {
+		// math/rand.Read never fails; keep the check for interface hygiene.
+		panic("simtime: rand read: " + err.Error())
+	}
+}

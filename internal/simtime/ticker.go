@@ -1,0 +1,58 @@
+package simtime
+
+import "time"
+
+// Ticker invokes a callback at a fixed virtual-time period until stopped.
+type Ticker struct {
+	clock  *Clock
+	period time.Duration
+	fn     func()
+	timer  *Timer
+	stop   bool
+}
+
+// NewTicker schedules fn every period, with the first invocation one period
+// from now. It panics if period is not positive.
+func NewTicker(c *Clock, period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("simtime: ticker period must be positive")
+	}
+	t := &Ticker{clock: c, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.clock.Schedule(t.period, func() {
+		if t.stop {
+			return
+		}
+		t.fn()
+		if !t.stop {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future invocations.
+func (t *Ticker) Stop() {
+	t.stop = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}
+
+// Reset restarts the period from the current instant, delaying the next
+// invocation to one full period from now.
+func (t *Ticker) Reset() {
+	if t.stop {
+		return
+	}
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+	t.arm()
+}
+
+// Period returns the ticker's period.
+func (t *Ticker) Period() time.Duration { return t.period }

@@ -1,0 +1,234 @@
+// Package sniff implements the passive side of the attack: promiscuous
+// capture of frames on the WiFi segment, per-flow TCP stream reassembly,
+// and extraction of TLS record metadata (timing, direction, cleartext
+// lengths). Record lengths and keep-alive periods are the fingerprints
+// that let an attacker recognise device models and message types in
+// encrypted traffic (Section II-C / the profiling step of Section IV-C).
+package sniff
+
+import (
+	"repro/internal/ipnet"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+	"repro/internal/tcpsim"
+	"repro/internal/tlssim"
+)
+
+// Direction orients a record within a flow.
+type Direction int
+
+// Directions. The TCP initiator is the device side everywhere in the
+// simulated home, so client-to-server means device-to-server.
+const (
+	DirClientToServer Direction = iota + 1
+	DirServerToClient
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == DirClientToServer {
+		return "c2s"
+	}
+	return "s2c"
+}
+
+// FlowKey identifies a TCP connection, oriented by its initiator.
+type FlowKey struct {
+	Client tcpsim.Endpoint
+	Server tcpsim.Endpoint
+}
+
+// RecordMeta is one observed TLS record.
+type RecordMeta struct {
+	At   simtime.Time
+	Flow FlowKey
+	Dir  Direction
+	Type tlssim.RecordType
+	// WireLen is the record's total on-the-wire size (header + body).
+	WireLen int
+}
+
+// PlainLen estimates the record's plaintext length (application records
+// carry header + AEAD overhead).
+func (r RecordMeta) PlainLen() int {
+	if r.Type == tlssim.RecordApplication {
+		return r.WireLen - tlssim.Overhead
+	}
+	return r.WireLen - tlssim.HeaderLen
+}
+
+// Capture reassembles TLS record metadata from observed frames.
+type Capture struct {
+	clk     *simtime.Clock
+	flows   map[FlowKey]*flowState
+	records []RecordMeta
+	// OnRecord observes each record as it completes.
+	OnRecord func(RecordMeta)
+}
+
+type flowState struct {
+	key     FlowKey
+	streams [2]*dirStream
+}
+
+// dirStream reassembles one direction of a flow.
+type dirStream struct {
+	started bool
+	nextSeq uint32
+	ooo     map[uint32][]byte
+	buf     []byte
+}
+
+// NewCapture creates an empty capture.
+func NewCapture(clk *simtime.Clock) *Capture {
+	return &Capture{clk: clk, flows: make(map[FlowKey]*flowState)}
+}
+
+// Tap returns a netsim tap feeding the capture; attach it to a segment (or
+// set a promiscuous NIC handler to call HandleFrame).
+func (c *Capture) Tap() netsim.Tap {
+	return func(f netsim.Frame) { c.HandleFrame(f) }
+}
+
+// Records returns all records observed so far.
+func (c *Capture) Records() []RecordMeta {
+	out := make([]RecordMeta, len(c.records))
+	copy(out, c.records)
+	return out
+}
+
+// FlowRecords returns the records of one flow in order.
+func (c *Capture) FlowRecords(key FlowKey) []RecordMeta {
+	var out []RecordMeta
+	for _, r := range c.records {
+		if r.Flow == key {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Flows lists the flows seen so far.
+func (c *Capture) Flows() []FlowKey {
+	out := make([]FlowKey, 0, len(c.flows))
+	for k := range c.flows {
+		out = append(out, k)
+	}
+	return out
+}
+
+// StreamSeq returns the next expected TCP sequence number of one direction
+// of a live flow — everything an attacker needs to forge a valid in-window
+// segment (such as the RST used to take over an established session).
+func (c *Capture) StreamSeq(key FlowKey, dir Direction) (uint32, bool) {
+	fs, ok := c.flows[key]
+	if !ok {
+		return 0, false
+	}
+	st := fs.streams[dir-1]
+	if !st.started {
+		return 0, false
+	}
+	return st.nextSeq, true
+}
+
+// HandleFrame ingests one layer-2 frame.
+func (c *Capture) HandleFrame(f netsim.Frame) {
+	if f.Type != netsim.EtherTypeIPv4 {
+		return
+	}
+	pkt, err := ipnet.Unmarshal(f.Payload)
+	if err != nil || pkt.Proto != ipnet.ProtoTCP {
+		return
+	}
+	seg, err := tcpsim.UnmarshalSegment(pkt.Payload)
+	if err != nil {
+		return
+	}
+	src := tcpsim.Endpoint{Addr: pkt.Src, Port: seg.SrcPort}
+	dst := tcpsim.Endpoint{Addr: pkt.Dst, Port: seg.DstPort}
+
+	// Orientation: a bare SYN starts a flow with src as client. Data on
+	// unknown flows is attributed by matching either orientation.
+	if seg.Flags.Has(tcpsim.FlagSYN) && !seg.Flags.Has(tcpsim.FlagACK) {
+		key := FlowKey{Client: src, Server: dst}
+		fs := &flowState{key: key}
+		fs.streams[0] = &dirStream{nextSeq: seg.Seq + 1, started: true, ooo: make(map[uint32][]byte)}
+		fs.streams[1] = &dirStream{ooo: make(map[uint32][]byte)}
+		c.flows[key] = fs
+		return
+	}
+
+	fs, dir := c.lookup(src, dst)
+	if fs == nil {
+		return
+	}
+	st := fs.streams[dir-1]
+	if seg.Flags.Has(tcpsim.FlagSYN) { // SYN-ACK seeds the server stream
+		st.nextSeq = seg.Seq + 1
+		st.started = true
+		return
+	}
+	if seg.Flags.Has(tcpsim.FlagRST) {
+		delete(c.flows, fs.key)
+		return
+	}
+	if !st.started || len(seg.Payload) == 0 {
+		return
+	}
+	c.ingest(fs, dir, st, seg)
+}
+
+func (c *Capture) lookup(src, dst tcpsim.Endpoint) (*flowState, Direction) {
+	if fs, ok := c.flows[FlowKey{Client: src, Server: dst}]; ok {
+		return fs, DirClientToServer
+	}
+	if fs, ok := c.flows[FlowKey{Client: dst, Server: src}]; ok {
+		return fs, DirServerToClient
+	}
+	return nil, 0
+}
+
+func (c *Capture) ingest(fs *flowState, dir Direction, st *dirStream, seg tcpsim.Segment) {
+	switch {
+	case seg.Seq == st.nextSeq:
+		st.buf = append(st.buf, seg.Payload...)
+		st.nextSeq += uint32(len(seg.Payload))
+		for {
+			p, ok := st.ooo[st.nextSeq]
+			if !ok {
+				break
+			}
+			delete(st.ooo, st.nextSeq)
+			st.buf = append(st.buf, p...)
+			st.nextSeq += uint32(len(p))
+		}
+		c.drainRecords(fs, dir, st)
+	case int32(seg.Seq-st.nextSeq) > 0:
+		st.ooo[seg.Seq] = seg.Payload
+	default:
+		// Retransmission of already-captured bytes: ignore.
+	}
+}
+
+func (c *Capture) drainRecords(fs *flowState, dir Direction, st *dirStream) {
+	for len(st.buf) >= tlssim.HeaderLen {
+		n := int(st.buf[3])<<8 | int(st.buf[4])
+		total := tlssim.HeaderLen + n
+		if len(st.buf) < total {
+			return
+		}
+		meta := RecordMeta{
+			At:      c.clk.Now(),
+			Flow:    fs.key,
+			Dir:     dir,
+			Type:    tlssim.RecordType(st.buf[0]),
+			WireLen: total,
+		}
+		st.buf = st.buf[total:]
+		c.records = append(c.records, meta)
+		if c.OnRecord != nil {
+			c.OnRecord(meta)
+		}
+	}
+}

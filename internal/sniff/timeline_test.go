@@ -1,0 +1,103 @@
+package sniff_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rules"
+	"repro/internal/sniff"
+)
+
+// TestPassiveRuleInference replays the paper's Case 3 recon: a purely
+// passive observer watches one day's encrypted traffic and discovers that
+// door-close events are consistently followed by lock commands — the
+// automation rule, inferred without a single decrypted byte.
+func TestPassiveRuleInference(t *testing.T) {
+	tb, cap := buildHome(t, "C2", "LK1")
+	if err := tb.Integration.AddRule(rules.Rule{
+		Name:    "lock-on-close",
+		Trigger: rules.Trigger{Device: "C2", Attribute: "contact", Value: "closed"},
+		Actions: []rules.Action{{Kind: rules.ActionCommand, Device: "LK1", Attribute: "lock", Value: "locked"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A day in fast-forward: the door opens and closes several times.
+	for i := 0; i < 6; i++ {
+		tb.Clock.RunFor(30 * time.Minute)
+		if err := tb.Device("C2").TriggerEvent("contact", "open"); err != nil {
+			t.Fatal(err)
+		}
+		tb.Clock.RunFor(time.Minute)
+		if err := tb.Device("C2").TriggerEvent("contact", "closed"); err != nil {
+			t.Fatal(err)
+		}
+		tb.Clock.RunFor(time.Minute)
+	}
+
+	cl := sniff.NewClassifier(sniff.BuildCatalogSignatures())
+	flows := cl.IdentifyAllFlows(cap, 0.5)
+	timeline := cl.Timeline(cap.Records(), flows)
+	if len(timeline) == 0 {
+		t.Fatal("empty timeline")
+	}
+
+	// Door events (C2) followed by lock commands (LK1) within 5 seconds.
+	res := sniff.Correlate(timeline, "C2", sniff.KindEvent, "LK1", sniff.KindCommand, 5*time.Second)
+	// 12 door events (6 open + 6 closed), 6 lock commands: confidence 0.5
+	// against all C2 events — the attacker cannot distinguish open from
+	// closed, exactly as the paper notes, and confirms the hypothesis with
+	// small probe delays (Case 3's verification step).
+	if res.CauseCount < 12 {
+		t.Fatalf("cause count = %d, want >= 12", res.CauseCount)
+	}
+	if res.Matched < 6 {
+		t.Fatalf("matched = %d, want >= 6 (every close followed by a lock)", res.Matched)
+	}
+	if res.Confidence() < 0.4 || res.Confidence() > 0.6 {
+		t.Fatalf("confidence = %.2f, want about 0.5 (half the contact events trigger)", res.Confidence())
+	}
+	if res.MeanLag <= 0 || res.MeanLag > time.Second {
+		t.Fatalf("mean lag = %v, want sub-second automation latency", res.MeanLag)
+	}
+	// No correlation in the reverse direction.
+	rev := sniff.Correlate(timeline, "LK1", sniff.KindCommand, "C2", sniff.KindEvent, 5*time.Second)
+	if rev.Confidence() > res.Confidence() {
+		t.Fatalf("reverse correlation %.2f should not beat forward %.2f", rev.Confidence(), res.Confidence())
+	}
+}
+
+func TestTimelineSortedAndFiltered(t *testing.T) {
+	tb, cap := buildHome(t, "C2")
+	tb.Clock.RunFor(2 * time.Minute)
+	_ = tb.Device("C2").TriggerEvent("contact", "open")
+	tb.Clock.RunFor(2 * time.Second)
+
+	cl := sniff.NewClassifier(sniff.BuildCatalogSignatures())
+	flows := cl.IdentifyAllFlows(cap, 0.5)
+	timeline := cl.Timeline(cap.Records(), flows)
+	for i := 1; i < len(timeline); i++ {
+		if timeline[i].At < timeline[i-1].At {
+			t.Fatal("timeline not sorted")
+		}
+	}
+	sawEvent := false
+	for _, m := range timeline {
+		if m.Origin == "C2" && m.Kind == sniff.KindEvent {
+			sawEvent = true
+		}
+		if m.Origin == "" {
+			t.Fatal("unattributed message leaked into the timeline")
+		}
+	}
+	if !sawEvent {
+		t.Fatal("C2 event missing from timeline")
+	}
+}
+
+func TestCorrelateEmptyTimeline(t *testing.T) {
+	res := sniff.Correlate(nil, "A", sniff.KindEvent, "B", sniff.KindCommand, time.Second)
+	if res.Confidence() != 0 || res.CauseCount != 0 {
+		t.Fatalf("empty timeline should yield zero: %+v", res)
+	}
+}

@@ -1,0 +1,21 @@
+package tcpsim
+
+import "testing"
+
+// FuzzUnmarshalSegment: arbitrary bytes must never panic the segment
+// decoder.
+func FuzzUnmarshalSegment(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Segment{SrcPort: 1, DstPort: 2, Seq: 3, Ack: 4, Flags: FlagSYN}.Marshal())
+	f.Add(Segment{Flags: FlagACK, Payload: []byte("data")}.Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalSegment(data)
+		if err != nil {
+			return
+		}
+		round, err := UnmarshalSegment(s.Marshal())
+		if err != nil || round.Seq != s.Seq || round.Flags != s.Flags {
+			t.Fatalf("round trip failed: %+v -> %+v (%v)", s, round, err)
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package tcpsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ipnet"
+	"repro/internal/simtime"
+)
+
+// Config parameterises the TCP timers. Zero values select defaults that
+// mirror common kernel settings.
+type Config struct {
+	// RTOInitial is the first retransmission timeout. Default 1s.
+	RTOInitial time.Duration
+	// RTOMax caps exponential backoff. Default 60s.
+	RTOMax time.Duration
+	// MaxRetries is how many retransmissions are attempted before the
+	// connection aborts with ErrTimeout. Default 5.
+	MaxRetries int
+	// MSS is the maximum payload per segment. Default 1400.
+	MSS int
+	// EnableKeepAlive turns on idle-connection probing.
+	EnableKeepAlive bool
+	// KeepAliveIdle is the idle period before the first probe. Default 2h.
+	KeepAliveIdle time.Duration
+	// KeepAliveInterval separates successive probes. Default 75s.
+	KeepAliveInterval time.Duration
+	// KeepAliveProbes is the number of unanswered probes tolerated before
+	// the connection aborts with ErrKeepAliveTimeout. Default 9.
+	KeepAliveProbes int
+}
+
+func (c *Config) fill() {
+	if c.RTOInitial <= 0 {
+		c.RTOInitial = time.Second
+	}
+	if c.RTOMax <= 0 {
+		c.RTOMax = 60 * time.Second
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 5
+	}
+	if c.MSS <= 0 {
+		c.MSS = 1400
+	}
+	if c.KeepAliveIdle <= 0 {
+		c.KeepAliveIdle = 2 * time.Hour
+	}
+	if c.KeepAliveInterval <= 0 {
+		c.KeepAliveInterval = 75 * time.Second
+	}
+	if c.KeepAliveProbes <= 0 {
+		c.KeepAliveProbes = 9
+	}
+}
+
+type connKey struct {
+	local  Endpoint
+	remote Endpoint
+}
+
+// Listener accepts inbound connections on a port.
+type Listener struct {
+	port   uint16
+	accept func(*Conn)
+}
+
+// Stack is a host's TCP layer. One Stack serves all connections of a host.
+type Stack struct {
+	clk       *simtime.Clock
+	ip        *ipnet.Stack
+	cfg       Config
+	rng       *simtime.Rand
+	listeners map[uint16]*Listener
+	conns     map[connKey]*Conn
+	nextPort  uint16
+	// SendRST controls whether segments for unknown connections are
+	// answered with RST (real stacks do; default true).
+	SendRST bool
+}
+
+// NewStack creates a TCP layer bound to an IP stack and registers itself as
+// the handler for TCP packets.
+func NewStack(clk *simtime.Clock, ip *ipnet.Stack, cfg Config, seed int64) *Stack {
+	cfg.fill()
+	s := &Stack{
+		clk:       clk,
+		ip:        ip,
+		cfg:       cfg,
+		rng:       simtime.NewRand(seed),
+		listeners: make(map[uint16]*Listener),
+		conns:     make(map[connKey]*Conn),
+		nextPort:  49152,
+		SendRST:   true,
+	}
+	ip.Handle(ipnet.ProtoTCP, s.HandlePacket)
+	return s
+}
+
+// Clock returns the stack's virtual clock.
+func (s *Stack) Clock() *simtime.Clock { return s.clk }
+
+// Config returns the stack's effective configuration.
+func (s *Stack) Config() Config { return s.cfg }
+
+// Listen registers an accept callback for inbound connections to port. The
+// callback runs when a SYN arrives, before the SYN-ACK is sent, so it can
+// install the connection's event handlers.
+func (s *Stack) Listen(port uint16, accept func(*Conn)) (*Listener, error) {
+	if _, dup := s.listeners[port]; dup {
+		return nil, fmt.Errorf("tcpsim: port %d already listening", port)
+	}
+	l := &Listener{port: port, accept: accept}
+	s.listeners[port] = l
+	return l, nil
+}
+
+// CloseListener removes a listener. Established connections are unaffected.
+func (s *Stack) CloseListener(l *Listener) { delete(s.listeners, l.port) }
+
+// Dial opens a connection from this host's primary address and an ephemeral
+// port to the remote endpoint. Handlers should be installed on the returned
+// Conn before the event loop next runs.
+func (s *Stack) Dial(remote Endpoint) *Conn {
+	local := Endpoint{Addr: s.ip.Addr(), Port: s.ephemeralPort()}
+	return s.DialFrom(local, remote)
+}
+
+// DialFrom opens a connection with an explicit local endpoint. The local
+// address need not belong to this host: an attacker's split-connection
+// proxy dials the server with the victim device's address.
+func (s *Stack) DialFrom(local, remote Endpoint) *Conn {
+	c := s.newConn(local, remote)
+	c.state = StateSynSent
+	s.conns[connKey{local, remote}] = c
+	c.queueAndSend(FlagSYN, nil)
+	return c
+}
+
+func (s *Stack) ephemeralPort() uint16 {
+	p := s.nextPort
+	s.nextPort++
+	if s.nextPort < 49152 {
+		s.nextPort = 49152
+	}
+	return p
+}
+
+// HandlePacket demultiplexes an inbound TCP packet. It is exported so the
+// attacker's divert hook can feed diverted packets into its own TCP layer.
+func (s *Stack) HandlePacket(p ipnet.Packet) {
+	seg, err := UnmarshalSegment(p.Payload)
+	if err != nil {
+		return
+	}
+	key := connKey{
+		local:  Endpoint{Addr: p.Dst, Port: seg.DstPort},
+		remote: Endpoint{Addr: p.Src, Port: seg.SrcPort},
+	}
+	if c, ok := s.conns[key]; ok {
+		c.handleSegment(seg)
+		return
+	}
+	if seg.Flags.Has(FlagSYN) && !seg.Flags.Has(FlagACK) {
+		if l, ok := s.listeners[seg.DstPort]; ok {
+			c := s.newConn(key.local, key.remote)
+			c.state = StateSynRcvd
+			c.rcvNxt = seg.Seq + 1
+			s.conns[key] = c
+			l.accept(c)
+			c.queueAndSend(FlagSYN|FlagACK, nil)
+			return
+		}
+	}
+	if s.SendRST && !seg.Flags.Has(FlagRST) {
+		s.sendRaw(key.local, key.remote, Segment{
+			Seq:   seg.Ack,
+			Ack:   seg.Seq + seg.seqLen(),
+			Flags: FlagRST | FlagACK,
+		})
+	}
+}
+
+func (s *Stack) newConn(local, remote Endpoint) *Conn {
+	iss := uint32(s.rng.Int63())
+	return &Conn{
+		stack:  s,
+		local:  local,
+		remote: remote,
+		iss:    iss,
+		sndUna: iss,
+		sndNxt: iss,
+		rto:    s.cfg.RTOInitial,
+	}
+}
+
+func (s *Stack) sendRaw(from, to Endpoint, seg Segment) {
+	seg.SrcPort = from.Port
+	seg.DstPort = to.Port
+	// A send can only fail for lack of a route; the segment is then lost,
+	// which the retransmission machinery already handles.
+	_ = s.ip.Send(ipnet.Packet{
+		Src:     from.Addr,
+		Dst:     to.Addr,
+		Proto:   ipnet.ProtoTCP,
+		Payload: seg.Marshal(),
+	})
+}
+
+func (s *Stack) removeConn(c *Conn) {
+	delete(s.conns, connKey{c.local, c.remote})
+}
+
+// ConnCount reports the number of live connections (diagnostics and the
+// half-open-connection experiments use this).
+func (s *Stack) ConnCount() int { return len(s.conns) }

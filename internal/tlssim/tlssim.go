@@ -1,0 +1,372 @@
+// Package tlssim implements a TLS-like secure channel over a tcpsim
+// connection: an X25519 key agreement followed by AES-GCM records bound to
+// implicit per-direction sequence numbers.
+//
+// The three properties the paper's analysis rests on all hold here:
+//
+//  1. Record headers (type and length) are cleartext, so an on-path
+//     attacker can delimit and fingerprint messages without keys.
+//  2. Any forgery, modification, replay or reordering fails authentication
+//     (the sequence number is bound into the nonce and additional data) and
+//     tears the session down with an alert — the attacker cannot spoof
+//     application messages.
+//  3. The layer has no timeout detection of its own: records delayed by an
+//     attacker and later delivered in their original order verify cleanly.
+package tlssim
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/simtime"
+	"repro/internal/tcpsim"
+)
+
+// RecordType identifies a record's purpose, mirroring TLS content types.
+type RecordType byte
+
+// Record content types (values match TLS for familiarity in traces).
+const (
+	RecordAlert       RecordType = 21
+	RecordHandshake   RecordType = 22
+	RecordApplication RecordType = 23
+)
+
+// HeaderLen is the cleartext record header size: type(1) version(2) len(2).
+const HeaderLen = 5
+
+// Overhead is the per-record size added to an application message: the
+// cleartext header plus the 16-byte AEAD tag. Sniffers subtract it to
+// recover plaintext message lengths from wire observations.
+const Overhead = HeaderLen + 16
+
+// maxPlaintext bounds one record's payload, as in TLS.
+const maxPlaintext = 16384
+
+// Errors surfaced through OnClose or Send.
+var (
+	// ErrBadRecord reports an authentication or sequencing violation.
+	ErrBadRecord = errors.New("tlssim: record authentication failed")
+	// ErrHandshake reports a malformed handshake exchange.
+	ErrHandshake = errors.New("tlssim: handshake failed")
+	// ErrNotEstablished reports Send before the handshake completed.
+	ErrNotEstablished = errors.New("tlssim: session not established")
+	// ErrClosed reports use after close.
+	ErrClosed = errors.New("tlssim: session closed")
+	// ErrRecordTooLarge reports a Send exceeding the record size limit.
+	ErrRecordTooLarge = errors.New("tlssim: message exceeds record limit")
+)
+
+// AlertReceivedError reports the session was ended by a peer alert,
+// carrying its description. It indicates to experiments that tampering was
+// *detected* — the outcome phantom delays never produce.
+type AlertReceivedError struct {
+	Description string
+}
+
+func (e *AlertReceivedError) Error() string {
+	return fmt.Sprintf("tlssim: alert from peer: %s", e.Description)
+}
+
+// Conn is one endpoint of a secure session layered on a TCP connection.
+// All callbacks run on the simulation event loop.
+type Conn struct {
+	tcp      *tcpsim.Conn
+	isClient bool
+
+	priv         *ecdh.PrivateKey
+	random       [16]byte
+	peerRandom   [16]byte
+	established  bool
+	closed       bool
+	closeErr     error
+	sendSeq      uint64
+	recvSeq      uint64
+	sendAEAD     cipher.AEAD
+	recvAEAD     cipher.AEAD
+	rbuf         []byte
+	alertsRaised int
+
+	// OnEstablished fires when the handshake completes.
+	OnEstablished func()
+	// OnMessage delivers one decrypted application message per record.
+	OnMessage func([]byte)
+	// OnClose fires exactly once when the session ends; nil means a clean
+	// close, ErrBadRecord or AlertReceivedError mean detected tampering.
+	OnClose func(error)
+}
+
+// Client starts a session as the initiator. The ClientHello goes out when
+// the underlying TCP connection establishes (immediately if it already is).
+func Client(tcp *tcpsim.Conn, rng *simtime.Rand) *Conn {
+	c := newConn(tcp, rng, true)
+	if tcp.State() == tcpsim.StateEstablished {
+		c.sendHello()
+	} else {
+		tcp.OnEstablished = c.sendHello
+	}
+	return c
+}
+
+// Server starts a session as the responder on an accepted TCP connection.
+func Server(tcp *tcpsim.Conn, rng *simtime.Rand) *Conn {
+	return newConn(tcp, rng, false)
+}
+
+func newConn(tcp *tcpsim.Conn, rng *simtime.Rand, isClient bool) *Conn {
+	priv, err := ecdh.X25519().GenerateKey(&randReader{rng})
+	if err != nil {
+		// X25519 key generation from a working reader cannot fail.
+		panic("tlssim: keygen: " + err.Error())
+	}
+	c := &Conn{tcp: tcp, isClient: isClient, priv: priv}
+	rng.Bytes(c.random[:])
+	tcp.OnData = c.onData
+	tcp.OnClose = func(err error) { c.teardown(err) }
+	return c
+}
+
+// TCP returns the underlying transport connection.
+func (c *Conn) TCP() *tcpsim.Conn { return c.tcp }
+
+// Established reports whether the handshake has completed.
+func (c *Conn) Established() bool { return c.established }
+
+// AlertsRaised counts integrity alerts this endpoint has sent — the
+// "detection" signal the experiments assert stays at zero under the attack.
+func (c *Conn) AlertsRaised() int { return c.alertsRaised }
+
+// Send encrypts msg as a single application record.
+func (c *Conn) Send(msg []byte) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if !c.established {
+		return ErrNotEstablished
+	}
+	if len(msg) > maxPlaintext {
+		return ErrRecordTooLarge
+	}
+	rec := c.seal(RecordApplication, msg)
+	return c.tcp.Send(rec)
+}
+
+// Close closes the session and its transport gracefully.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.tcp.Close()
+}
+
+func (c *Conn) sendHello() {
+	body := make([]byte, 0, 48)
+	body = append(body, c.priv.PublicKey().Bytes()...)
+	body = append(body, c.random[:]...)
+	rec := plainRecord(RecordHandshake, body)
+	// Transport errors surface later through OnClose; a failed hello simply
+	// never completes the handshake.
+	_ = c.tcp.Send(rec)
+}
+
+func (c *Conn) onData(b []byte) {
+	c.rbuf = append(c.rbuf, b...)
+	for !c.closed {
+		if len(c.rbuf) < HeaderLen {
+			return
+		}
+		n := int(binary.BigEndian.Uint16(c.rbuf[3:5]))
+		if len(c.rbuf) < HeaderLen+n {
+			return
+		}
+		typ := RecordType(c.rbuf[0])
+		body := c.rbuf[HeaderLen : HeaderLen+n]
+		c.rbuf = c.rbuf[HeaderLen+n:]
+		c.processRecord(typ, body)
+	}
+}
+
+func (c *Conn) processRecord(typ RecordType, body []byte) {
+	switch typ {
+	case RecordHandshake:
+		c.processHandshake(body)
+	case RecordApplication:
+		c.processApplication(body)
+	case RecordAlert:
+		c.tcp.Close()
+		c.teardown(&AlertReceivedError{Description: string(body)})
+	default:
+		c.fail("unexpected_record_type")
+	}
+}
+
+func (c *Conn) processHandshake(body []byte) {
+	if c.established || len(body) != 48 {
+		c.fail("unexpected_handshake")
+		return
+	}
+	peerPub, err := ecdh.X25519().NewPublicKey(body[:32])
+	if err != nil {
+		c.fail("bad_public_key")
+		return
+	}
+	copy(c.peerRandom[:], body[32:48])
+	shared, err := c.priv.ECDH(peerPub)
+	if err != nil {
+		c.fail("key_agreement_failed")
+		return
+	}
+	if !c.isClient {
+		// Respond before deriving so the client can complete too.
+		c.sendHelloAsServer()
+	}
+	if err := c.deriveKeys(shared); err != nil {
+		c.fail("key_derivation_failed")
+		return
+	}
+	c.established = true
+	if c.OnEstablished != nil {
+		c.OnEstablished()
+	}
+}
+
+func (c *Conn) sendHelloAsServer() {
+	body := make([]byte, 0, 48)
+	body = append(body, c.priv.PublicKey().Bytes()...)
+	body = append(body, c.random[:]...)
+	_ = c.tcp.Send(plainRecord(RecordHandshake, body))
+}
+
+func (c *Conn) deriveKeys(shared []byte) error {
+	var clientRandom, serverRandom [16]byte
+	if c.isClient {
+		clientRandom, serverRandom = c.random, c.peerRandom
+	} else {
+		clientRandom, serverRandom = c.peerRandom, c.random
+	}
+	clientKey := deriveKey(shared, "client write", clientRandom, serverRandom)
+	serverKey := deriveKey(shared, "server write", clientRandom, serverRandom)
+	mk := func(key []byte) (cipher.AEAD, error) {
+		block, err := aes.NewCipher(key)
+		if err != nil {
+			return nil, err
+		}
+		return cipher.NewGCM(block)
+	}
+	var sendKey, recvKey []byte
+	if c.isClient {
+		sendKey, recvKey = clientKey, serverKey
+	} else {
+		sendKey, recvKey = serverKey, clientKey
+	}
+	var err error
+	if c.sendAEAD, err = mk(sendKey); err != nil {
+		return err
+	}
+	c.recvAEAD, err = mk(recvKey)
+	return err
+}
+
+func deriveKey(shared []byte, label string, cr, sr [16]byte) []byte {
+	h := hmac.New(sha256.New, shared)
+	h.Write([]byte(label))
+	h.Write(cr[:])
+	h.Write(sr[:])
+	return h.Sum(nil)[:16]
+}
+
+func (c *Conn) processApplication(body []byte) {
+	if !c.established {
+		c.fail("record_before_handshake")
+		return
+	}
+	nonce := seqNonce(c.recvSeq)
+	aad := additionalData(RecordApplication, c.recvSeq, len(body))
+	plain, err := c.recvAEAD.Open(nil, nonce, body, aad)
+	if err != nil {
+		c.fail("bad_record_mac")
+		return
+	}
+	c.recvSeq++
+	if c.OnMessage != nil {
+		c.OnMessage(plain)
+	}
+}
+
+// fail raises an alert, aborts the transport and reports ErrBadRecord —
+// the loud, detectable outcome the paper's attack never produces.
+func (c *Conn) fail(desc string) {
+	c.alertsRaised++
+	_ = c.tcp.Send(plainRecord(RecordAlert, []byte(desc)))
+	c.tcp.Close()
+	c.teardown(fmt.Errorf("%w (%s)", ErrBadRecord, desc))
+}
+
+func (c *Conn) teardown(err error) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.closeErr = err
+	if c.OnClose != nil {
+		c.OnClose(err)
+	}
+}
+
+func (c *Conn) seal(typ RecordType, plain []byte) []byte {
+	nonce := seqNonce(c.sendSeq)
+	aad := additionalData(typ, c.sendSeq, len(plain)+16)
+	body := c.sendAEAD.Seal(nil, nonce, plain, aad)
+	c.sendSeq++
+	rec := make([]byte, HeaderLen+len(body))
+	fillHeader(rec, typ, len(body))
+	copy(rec[HeaderLen:], body)
+	return rec
+}
+
+func plainRecord(typ RecordType, body []byte) []byte {
+	rec := make([]byte, HeaderLen+len(body))
+	fillHeader(rec, typ, len(body))
+	copy(rec[HeaderLen:], body)
+	return rec
+}
+
+func fillHeader(rec []byte, typ RecordType, n int) {
+	rec[0] = byte(typ)
+	rec[1] = 0x03
+	rec[2] = 0x03
+	binary.BigEndian.PutUint16(rec[3:5], uint16(n))
+}
+
+func seqNonce(seq uint64) []byte {
+	nonce := make([]byte, 12)
+	binary.BigEndian.PutUint64(nonce[4:], seq)
+	return nonce
+}
+
+func additionalData(typ RecordType, seq uint64, bodyLen int) []byte {
+	aad := make([]byte, 13)
+	binary.BigEndian.PutUint64(aad[0:8], seq)
+	aad[8] = byte(typ)
+	aad[9] = 0x03
+	aad[10] = 0x03
+	binary.BigEndian.PutUint16(aad[11:13], uint16(bodyLen))
+	return aad
+}
+
+// randReader adapts the deterministic simulation source to io.Reader for
+// key generation.
+type randReader struct {
+	r *simtime.Rand
+}
+
+func (r *randReader) Read(p []byte) (int, error) {
+	r.r.Bytes(p)
+	return len(p), nil
+}

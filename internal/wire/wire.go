@@ -1,0 +1,160 @@
+// Package wire provides the binary encoding helpers shared by the
+// simulation's application protocols, plus padding support: IoT messages
+// are padded to profile-specified wire lengths so that the record-length
+// fingerprinting the paper relies on has realistic, stable signatures.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrTruncated reports a read past the end of a message.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// Writer appends binary fields to a buffer.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with the given capacity hint.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the current encoded length.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 appends a byte.
+func (w *Writer) U8(v uint8) *Writer {
+	w.buf = append(w.buf, v)
+	return w
+}
+
+// U16 appends a big-endian uint16.
+func (w *Writer) U16(v uint16) *Writer {
+	w.buf = binary.BigEndian.AppendUint16(w.buf, v)
+	return w
+}
+
+// U32 appends a big-endian uint32.
+func (w *Writer) U32(v uint32) *Writer {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+	return w
+}
+
+// U64 appends a big-endian uint64.
+func (w *Writer) U64(v uint64) *Writer {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
+	return w
+}
+
+// String appends a 16-bit-length-prefixed string.
+func (w *Writer) String(s string) *Writer {
+	w.U16(uint16(len(s)))
+	w.buf = append(w.buf, s...)
+	return w
+}
+
+// Bytes16 appends a 16-bit-length-prefixed byte slice.
+func (w *Writer) Bytes16(b []byte) *Writer {
+	w.U16(uint16(len(b)))
+	w.buf = append(w.buf, b...)
+	return w
+}
+
+// PadTo extends the buffer with zero bytes to reach exactly n. If the
+// buffer is already longer, it is returned unchanged: padding can only
+// grow a message. Decoders ignore trailing padding.
+func (w *Writer) PadTo(n int) *Writer {
+	for len(w.buf) < n {
+		w.buf = append(w.buf, 0)
+	}
+	return w
+}
+
+// Reader consumes binary fields from a buffer. Trailing unread bytes are
+// permitted (they are message padding).
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a received message.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = ErrTruncated
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads a byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// String reads a 16-bit-length-prefixed string.
+func (r *Reader) String() string {
+	n := int(r.U16())
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Bytes16 reads a 16-bit-length-prefixed byte slice. The result aliases
+// the input buffer; callers that retain it must copy.
+func (r *Reader) Bytes16() []byte {
+	n := int(r.U16())
+	return r.take(n)
+}
