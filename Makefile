@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race verify bench
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The packages with real goroutine concurrency: the parallel table runner
+# and the obs snapshot/merge boundary it synchronises through.
+race:
+	$(GO) test -race ./internal/experiment/ ./internal/obs/
+
+verify: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem .

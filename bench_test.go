@@ -23,10 +23,13 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
+	"repro/internal/simtime"
 )
 
 func BenchmarkTableICloudDevices(b *testing.B) {
@@ -187,6 +190,65 @@ func BenchmarkSimulatedHomeHour(b *testing.B) {
 		if tb.TotalAlarmCount() != 0 {
 			b.Fatalf("idle hour raised %d alarms", tb.TotalAlarmCount())
 		}
+	}
+}
+
+// obsWorkload drives the simulator's hottest path — the event loop — for a
+// fixed number of events. A nil registry exercises the uninstrumented
+// (nil-handle) branch, which is what the pre-observability code paid.
+func obsWorkload(reg *obs.Registry) {
+	clk := simtime.NewClock()
+	clk.Instrument(reg)
+	const events = 200_000
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < events {
+			clk.Schedule(time.Millisecond, tick)
+		}
+	}
+	// Several concurrent chains keep the heap non-trivial.
+	for i := 0; i < 8; i++ {
+		clk.Schedule(time.Duration(i)*time.Microsecond, tick)
+	}
+	clk.Run()
+}
+
+// timeWorkload measures one workload run, from a clean GC state so
+// collector pauses from earlier trials don't land inside the timing.
+func timeWorkload(reg *obs.Registry) time.Duration {
+	runtime.GC()
+	start := time.Now()
+	obsWorkload(reg)
+	return time.Since(start)
+}
+
+// BenchmarkObsInstrumentedHotPath asserts the observability layer's event
+// loop tax: a fully instrumented clock must stay within 5% of the
+// uninstrumented (nil-registry) path, which matches the pre-obs seed code.
+// Trials of the two variants are interleaved and the minimum of each is
+// compared, so machine-load drift affects both sides equally.
+func BenchmarkObsInstrumentedHotPath(b *testing.B) {
+	obsWorkload(nil) // warm-up
+	obsWorkload(obs.NewRegistry())
+	var base, inst time.Duration
+	for trial := 0; trial < 16; trial++ {
+		if d := timeWorkload(nil); base == 0 || d < base {
+			base = d
+		}
+		if d := timeWorkload(obs.NewRegistry()); inst == 0 || d < inst {
+			inst = d
+		}
+	}
+	overhead := float64(inst)/float64(base) - 1
+	b.ReportMetric(overhead*100, "overhead-%")
+	if overhead > 0.05 {
+		b.Fatalf("instrumented hot path %.1f%% over uninstrumented (%v vs %v), budget is 5%%",
+			overhead*100, inst, base)
+	}
+	for i := 0; i < b.N; i++ {
+		obsWorkload(obs.NewRegistry())
 	}
 }
 

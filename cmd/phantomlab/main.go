@@ -38,6 +38,7 @@ func run(args []string) error {
 	recovery := fs.Duration("recovery", 30*time.Second, "inter-trial recovery (paper uses 2m)")
 	jsonOut := fs.Bool("json", false, "emit JSON instead of rendered tables (table1/table2/table3)")
 	parallel := fs.Int("parallel", 0, "measure tables with N concurrent testbeds (0 = serial)")
+	metricsOut := fs.String("metrics", "", "write merged table metrics snapshot to this JSON file (table1/table2)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,10 +51,16 @@ func run(args []string) error {
 	opts := experiment.TableOptions{Seed: *seed, Trials: *trials, Recovery: *recovery}
 	out := os.Stdout
 
+	// Rows from every table command of this invocation, for -metrics: the
+	// per-testbed snapshots (one per device, across all parallel workers)
+	// merge into a single file.
+	var metricRows []experiment.TableRow
+
 	runOne := func(name string) error {
 		switch name {
 		case "table1":
 			rows := runTable(cloudLabels(), opts, *parallel)
+			metricRows = append(metricRows, rows...)
 			if *jsonOut {
 				return experiment.WriteRowsJSON(out, rows)
 			}
@@ -62,6 +69,7 @@ func run(args []string) error {
 			t2 := opts
 			t2.UnboundedDemo = 2 * time.Hour
 			rows := runTable(localLabels(), t2, *parallel)
+			metricRows = append(metricRows, rows...)
 			if *jsonOut {
 				return experiment.WriteRowsJSON(out, rows)
 			}
@@ -106,9 +114,30 @@ func run(args []string) error {
 				return err
 			}
 		}
+		return writeMetrics(*metricsOut, metricRows)
+	}
+	if err := runOne(cmd); err != nil {
+		return err
+	}
+	return writeMetrics(*metricsOut, metricRows)
+}
+
+// writeMetrics dumps the merged metrics snapshot of all measured rows to
+// path. A run that produced no table rows writes an empty snapshot, which
+// keeps the output shape stable for tooling.
+func writeMetrics(path string, rows []experiment.TableRow) error {
+	if path == "" {
 		return nil
 	}
-	return runOne(cmd)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics output: %w", err)
+	}
+	if err := experiment.WriteMetricsJSON(f, rows); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics output: %w", err)
+	}
+	return f.Close()
 }
 
 func runTable(labels []string, opts experiment.TableOptions, parallel int) []experiment.TableRow {

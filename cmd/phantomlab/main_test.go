@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
 
 func TestRunRejectsBadInput(t *testing.T) {
 	if err := run([]string{}); err == nil {
@@ -11,6 +18,43 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 	if err := run([]string{"-seed", "x", "table1"}); err == nil {
 		t.Fatal("bad flag should fail")
+	}
+}
+
+func TestRunTableWithMetricsOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := run([]string{"-seed", "5", "-trials", "1", "-parallel", "2", "-metrics", path, "table2"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Counters) == 0 || len(snap.Histograms) == 0 {
+		t.Fatalf("merged snapshot looks empty: %d counters, %d histograms",
+			len(snap.Counters), len(snap.Histograms))
+	}
+	for _, name := range []string{
+		"simtime_events_total", "netsim_frames_sent_total",
+		"tcpsim_segments_sent_total", "core_bridges_total",
+	} {
+		found := false
+		for _, f := range snap.Families() {
+			if f == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("metric family %s missing from merged snapshot", name)
+		}
+	}
+	if snap.Counter("core_bridges_total") == 0 {
+		t.Fatal("merged bridge count is zero across a whole table run")
 	}
 }
 

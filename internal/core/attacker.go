@@ -42,6 +42,7 @@ type Attacker struct {
 	rng       *simtime.Rand
 	diverters []func(ipnet.Packet) bool
 	acceptors map[uint16]map[ipaddr.Addr]func(*tcpsim.Conn)
+	met       coreMetrics
 }
 
 // NewAttacker joins the attacker to a LAN segment at the given CIDR

@@ -52,6 +52,7 @@ type Bridge struct {
 	srvConn *tcpsim.Conn
 	policy  *Policy
 	dirs    [2]*bridgeDir
+	met     coreMetrics
 
 	devClosed   bool
 	srvClosed   bool
@@ -84,14 +85,16 @@ type bridgeDir struct {
 
 // newBridge wires the two connections. srvConn may still be handshaking;
 // tcpsim queues writes until establishment.
-func newBridge(clk *simtime.Clock, devConn, srvConn *tcpsim.Conn, policy *Policy) *Bridge {
+func newBridge(clk *simtime.Clock, devConn, srvConn *tcpsim.Conn, policy *Policy, met coreMetrics) *Bridge {
 	b := &Bridge{
 		clk:     clk,
 		devConn: devConn,
 		srvConn: srvConn,
 		policy:  policy,
 		dirs:    [2]*bridgeDir{{}, {}},
+		met:     met,
 	}
+	met.bridges.Inc()
 	devConn.OnData = func(data []byte) { b.onData(sniff.DirClientToServer, data) }
 	srvConn.OnData = func(data []byte) { b.onData(sniff.DirServerToClient, data) }
 	devConn.OnClose = func(err error) {
@@ -183,6 +186,7 @@ func (b *Bridge) processRecord(d sniff.Direction, st *bridgeDir, rec []byte) {
 		Index:   st.index,
 	}
 	st.index++
+	b.met.byDir(b.met.observed, d).Inc()
 	if b.OnRecord != nil {
 		b.OnRecord(info)
 	}
@@ -196,9 +200,12 @@ func (b *Bridge) processRecord(d sniff.Direction, st *bridgeDir, rec []byte) {
 		if !st.holding {
 			st.holding = true
 			st.heldSince = b.clk.Now()
+			b.met.trace.Emit(b.clk.Now(), "core", "hold_start", d.String(), int64(info.WireLen))
 		}
 		st.held++
 		st.queue = append(st.queue, rec)
+		b.met.byDir(b.met.held, d).Inc()
+		b.met.heldDepth.Add(1)
 		return
 	}
 	st.forwarded++
@@ -218,6 +225,12 @@ func (b *Bridge) Release(d sniff.Direction) int {
 		b.send(d, rec)
 	}
 	st.queue = nil
+	if n > 0 {
+		b.met.byDir(b.met.released, d).Add(uint64(n))
+		b.met.heldDepth.Add(int64(-n))
+		b.met.releaseLatency.ObserveDuration(b.clk.Now() - st.heldSince)
+		b.met.trace.Emit(b.clk.Now(), "core", "release", d.String(), int64(n))
+	}
 	st.holding = false
 	// Close propagation after a hold is asymmetric. If the *device* died
 	// mid-hold, the stealthy move (Finding 2) is to leave the server side
@@ -251,5 +264,6 @@ func (b *Bridge) send(d sniff.Direction, rec []byte) {
 	}
 	// A dead outbound side drops the record; the stats still count it as
 	// forwarded so callers can detect loss via the connection state.
+	b.met.spoofedSends.Inc()
 	_ = conn.Send(rec)
 }

@@ -175,7 +175,7 @@ func (h *Hijacker) accept(devConn *tcpsim.Conn) {
 		devConn.Remote(), // the device's true endpoint, spoofed
 		tcpsim.Endpoint{Addr: h.target.ServerAddr, Port: h.target.ServerPort},
 	)
-	b := newBridge(h.atk.Clock, devConn, srvConn, &h.policy)
+	b := newBridge(h.atk.Clock, devConn, srvConn, &h.policy, h.atk.met)
 	b.OnRecord = func(r RecordInfo) {
 		if h.predictor != nil {
 			h.predictor.Observe(h.classify(r))

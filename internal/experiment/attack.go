@@ -11,9 +11,16 @@ import (
 )
 
 // NewAttacker joins an attacker host to the home WiFi at AttackerAddr —
-// the paper's "one controlled WiFi device".
+// the paper's "one controlled WiFi device". The attacker reports into the
+// testbed's metrics registry.
 func (tb *Testbed) NewAttacker() (*core.Attacker, error) {
-	return core.NewAttacker(tb.Net, tb.LAN, "attacker", AttackerAddr.String()+"/24", GatewayAddr, tb.cfg.Seed+900)
+	atk, err := core.NewAttacker(tb.Net, tb.LAN, "attacker", AttackerAddr.String()+"/24", GatewayAddr, tb.cfg.Seed+900)
+	if err != nil {
+		return nil, err
+	}
+	atk.TCP.Instrument(tb.Metrics, "attacker")
+	atk.Instrument(tb.Metrics)
+	return atk, nil
 }
 
 // HijackTarget resolves the man-in-the-middle coordinates for a device:

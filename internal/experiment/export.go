@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"io"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Export DTOs: stable JSON shapes for downstream tooling (plots, diffing
@@ -80,6 +82,24 @@ func WriteRowsJSON(w io.Writer, rows []TableRow) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// MergedMetrics merges the per-row testbed snapshots into one table-wide
+// snapshot: counters and histogram buckets sum across devices, gauge
+// high-water marks take the per-run maximum.
+func MergedMetrics(rows []TableRow) obs.Snapshot {
+	snaps := make([]obs.Snapshot, 0, len(rows))
+	for _, r := range rows {
+		snaps = append(snaps, r.Metrics)
+	}
+	return obs.Merge(snaps...)
+}
+
+// WriteMetricsJSON writes the merged metrics of rows as indented JSON.
+func WriteMetricsJSON(w io.Writer, rows []TableRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(MergedMetrics(rows))
 }
 
 // CaseResultJSON is the export shape of a Table III case outcome.

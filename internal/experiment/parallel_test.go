@@ -3,6 +3,8 @@ package experiment
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -26,6 +28,58 @@ func TestParallelMatchesSerial(t *testing.T) {
 			s.Measured.String() != p.Measured.String() {
 			t.Fatalf("row %d diverged:\nserial:   %+v\nparallel: %+v", i, s, p)
 		}
+	}
+}
+
+// TestParallelDeterministicAcrossWorkerCounts is the strong form of the
+// serial/parallel equivalence claim: every row — including the full
+// metrics snapshot of each device's testbed — must be byte-identical to
+// the serial runner's, for any worker count.
+func TestParallelDeterministicAcrossWorkerCounts(t *testing.T) {
+	labels := []string{"C1", "C2", "L2", "K2", "M7", "A1", "P2", "CM1"}
+	opts := TableOptions{Seed: 2150, Trials: 1}
+	serial := RunTable(labels, opts)
+
+	serialJSON := encodeRows(t, serial)
+	for _, workers := range []int{1, 3, runtime.GOMAXPROCS(0)} {
+		par := RunTableParallel(labels, opts, workers)
+		if !reflect.DeepEqual(serial, par) {
+			for i := range serial {
+				if !reflect.DeepEqual(serial[i], par[i]) {
+					t.Fatalf("workers=%d: row %d (%s) diverged from serial", workers, i, serial[i].Label)
+				}
+			}
+			t.Fatalf("workers=%d: rows diverged from serial", workers)
+		}
+		if got := encodeRows(t, par); !bytes.Equal(serialJSON, got) {
+			t.Fatalf("workers=%d: JSON export not byte-identical to serial", workers)
+		}
+	}
+}
+
+// encodeRows renders both export shapes (rows and merged metrics) so the
+// byte-level comparison covers snapshot ordering too.
+func encodeRows(t *testing.T, rows []TableRow) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteRowsJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetricsJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestParallelEmptyLabels(t *testing.T) {
+	for _, workers := range []int{0, 1, 3} {
+		rows := RunTableParallel(nil, TableOptions{Seed: 1, Trials: 1}, workers)
+		if len(rows) != 0 {
+			t.Fatalf("workers=%d: rows = %+v, want empty", workers, rows)
+		}
+	}
+	if rows := RunTableParallel([]string{}, TableOptions{Seed: 1, Trials: 1}, 2); len(rows) != 0 {
+		t.Fatalf("explicit empty slice: rows = %+v", rows)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/obs"
 )
 
 // TableOptions tunes the Table I/II measurement runs.
@@ -72,6 +73,11 @@ type TableRow struct {
 	// StealthOK reports zero server-side alarms across all measurements.
 	StealthOK bool
 
+	// Metrics is the device testbed's full metrics snapshot, taken after
+	// the measurement finished. Snapshots from all rows merge with
+	// obs.Merge for a whole-table view.
+	Metrics obs.Snapshot
+
 	// Err captures a per-device measurement failure.
 	Err error
 }
@@ -106,9 +112,9 @@ func RunTable2(opts TableOptions) []TableRow {
 	return RunTable(labels, opts)
 }
 
-func measureDevice(label string, opts TableOptions, seed int64) TableRow {
+func measureDevice(label string, opts TableOptions, seed int64) (row TableRow) {
 	truth, err := device.Lookup(label)
-	row := TableRow{Label: label, Err: err}
+	row = TableRow{Label: label, Err: err}
 	if err != nil {
 		return row
 	}
@@ -124,6 +130,8 @@ func measureDevice(label string, opts TableOptions, seed int64) TableRow {
 		row.Err = err
 		return row
 	}
+	// Snapshot whatever the run produced, even on a failed measurement.
+	defer func() { row.Metrics = tb.Metrics.Snapshot() }()
 	atk, err := tb.NewAttacker()
 	if err != nil {
 		row.Err = err

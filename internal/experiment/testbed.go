@@ -13,6 +13,7 @@ import (
 	"repro/internal/ipaddr"
 	"repro/internal/ipnet"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/tcpsim"
 )
@@ -49,6 +50,13 @@ type Testbed struct {
 	Endpoints   map[string]*cloud.EndpointServer
 	Devices     map[string]*device.Device
 
+	// Metrics is the testbed's observability registry. Every testbed owns
+	// exactly one (the simulation is single-threaded); the clock, the
+	// network, device TCP stacks and any attacker report into it. Take a
+	// Snapshot after a run; snapshots from independent testbeds merge with
+	// obs.Merge.
+	Metrics *obs.Registry
+
 	// DeviceAddrs maps session-owning device labels to their LAN address.
 	DeviceAddrs map[string]ipaddr.Addr
 	// ServerAddrs maps vendor domains to their WAN address ("local" maps
@@ -84,12 +92,16 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		cfg.WANLatency = 10 * time.Millisecond
 	}
 	clk := simtime.NewClock()
+	reg := obs.NewRegistry()
+	clk.Instrument(reg)
 	nw := netsim.NewNetwork(clk, cfg.Seed)
+	nw.Instrument(reg) // before segments so they get per-segment counters
 	tb := &Testbed{
 		Clock:       clk,
 		Net:         nw,
 		LAN:         nw.NewSegment("lan", cfg.LANLatency, cfg.Jitter),
 		WAN:         nw.NewSegment("wan", cfg.WANLatency, cfg.Jitter),
+		Metrics:     reg,
 		Endpoints:   make(map[string]*cloud.EndpointServer),
 		Devices:     make(map[string]*device.Device),
 		DeviceAddrs: make(map[string]ipaddr.Addr),
@@ -230,6 +242,7 @@ func (tb *Testbed) addDevice(p device.Profile) error {
 		TCP:   tcpsim.NewStack(tb.Clock, ip, tcpsim.Config{}, tb.cfg.Seed+int64(tb.nextHost)),
 		RNG:   tb.rng,
 	}
+	env.TCP.Instrument(tb.Metrics, p.Label)
 	switch p.Transport {
 	case device.TransportHAP:
 		env.Server = tb.LocalHub.Addr()

@@ -1,0 +1,82 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+func TestSegmentMetricsMirrorStats(t *testing.T) {
+	clk := simtime.NewClock()
+	reg := obs.NewRegistry()
+	net := NewNetwork(clk, 1)
+	net.Instrument(reg)
+	seg := net.NewSegment("lan", time.Millisecond, 0)
+	a := net.NewHost("a").AttachNIC(seg)
+	b := net.NewHost("b").AttachNIC(seg)
+	b.SetHandler(func(_ *NIC, f Frame) {})
+
+	a.Send(Frame{Dst: b.MAC(), Type: EtherTypeIPv4, Payload: make([]byte, 50)})
+	a.Send(Frame{Dst: MAC{0x02, 0, 0, 0, 0, 0x99}, Type: EtherTypeIPv4}) // nobody
+	clk.Run()
+	b.SetDown(true)
+	a.Send(Frame{Dst: b.MAC(), Type: EtherTypeIPv4}) // blocked rx
+	clk.Run()
+
+	snap := reg.Snapshot()
+	lan := obs.L("segment", "lan")
+	if got := snap.Counter("netsim_frames_sent_total", lan); got != 3 {
+		t.Fatalf("frames_sent = %d, want 3", got)
+	}
+	if got := snap.Counter("netsim_frames_delivered_total", lan); got != 1 {
+		t.Fatalf("frames_delivered = %d, want 1", got)
+	}
+	if got := snap.Counter("netsim_frames_dropped_total", lan, obs.L("reason", "no_receiver")); got != 1 {
+		t.Fatalf("no_receiver drops = %d, want 1", got)
+	}
+	if got := snap.Counter("netsim_frames_dropped_total", lan, obs.L("reason", "iface_down")); got != 1 {
+		t.Fatalf("iface_down drops = %d, want 1", got)
+	}
+	if got := snap.Counter("netsim_bytes_sent_total", lan); got != uint64(14+50+14+14) {
+		t.Fatalf("bytes_sent = %d", got)
+	}
+	// The obs counters mirror the struct stats exactly.
+	st := seg.Stats()
+	if st.FramesSent != 3 || st.FramesDelivered != 1 || st.FramesDropped() != 2 {
+		t.Fatalf("struct stats diverged: %+v", st)
+	}
+}
+
+func TestLossMetricCounted(t *testing.T) {
+	clk := simtime.NewClock()
+	reg := obs.NewRegistry()
+	net := NewNetwork(clk, 7)
+	net.Instrument(reg)
+	seg := net.NewSegment("lossy", 0, 0)
+	seg.SetLossRate(1)
+	a := net.NewHost("a").AttachNIC(seg)
+	b := net.NewHost("b").AttachNIC(seg)
+	b.SetHandler(func(_ *NIC, f Frame) {})
+	a.Send(Frame{Dst: b.MAC(), Type: EtherTypeIPv4})
+	clk.Run()
+	if got := reg.Snapshot().Counter("netsim_frames_dropped_total",
+		obs.L("segment", "lossy"), obs.L("reason", "loss")); got != 1 {
+		t.Fatalf("loss drops = %d, want 1", got)
+	}
+}
+
+func TestUninstrumentedNetworkStillCounts(t *testing.T) {
+	clk := simtime.NewClock()
+	net := NewNetwork(clk, 1)
+	seg := net.NewSegment("lan", 0, 0)
+	a := net.NewHost("a").AttachNIC(seg)
+	b := net.NewHost("b").AttachNIC(seg)
+	b.SetHandler(func(_ *NIC, f Frame) {})
+	a.Send(Frame{Dst: b.MAC(), Type: EtherTypeIPv4})
+	clk.Run()
+	if seg.Stats().FramesDelivered != 1 {
+		t.Fatal("struct stats must work without a registry")
+	}
+}

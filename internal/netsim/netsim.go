@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -58,10 +59,11 @@ type Tap func(Frame)
 
 // Network owns segments and hosts and assigns deterministic MAC addresses.
 type Network struct {
-	clk    *simtime.Clock
-	rng    *simtime.Rand
-	macSeq uint32
-	hosts  map[string]*Host
+	clk     *simtime.Clock
+	rng     *simtime.Rand
+	macSeq  uint32
+	hosts   map[string]*Host
+	metrics *obs.Registry
 }
 
 // NewNetwork creates a network on the given clock. The seed drives latency
@@ -77,13 +79,26 @@ func NewNetwork(clk *simtime.Clock, seed int64) *Network {
 // Clock returns the virtual clock the network runs on.
 func (n *Network) Clock() *simtime.Clock { return n.clk }
 
+// Instrument attaches a metrics registry. Segments created afterwards
+// export per-segment counters:
+//
+//	netsim_frames_sent_total{segment}      frames put on the medium
+//	netsim_bytes_sent_total{segment}       bytes put on the medium
+//	netsim_frames_delivered_total{segment} frames a NIC handled
+//	netsim_frames_dropped_total{segment,reason}
+//	    reason: loss | no_receiver | iface_down
+//
+// Call it before building the topology; segments created earlier stay
+// uninstrumented (their Stats struct still counts everything).
+func (n *Network) Instrument(reg *obs.Registry) { n.metrics = reg }
+
 // NewSegment creates a broadcast segment. Frames experience the given base
 // latency perturbed by the jitter factor (0 disables jitter).
 func (n *Network) NewSegment(name string, latency time.Duration, jitter float64) *Segment {
 	if latency < 0 {
 		latency = 0
 	}
-	return &Segment{net: n, name: name, latency: latency, jitter: jitter}
+	return &Segment{net: n, name: name, latency: latency, jitter: jitter, met: newSegMetrics(n.metrics, name)}
 }
 
 // NewHost creates a named host. Host names must be unique.
@@ -106,12 +121,57 @@ func (n *Network) nextMAC() MAC {
 	return MAC{0x02, 0x00, byte(s >> 24), byte(s >> 16), byte(s >> 8), byte(s)}
 }
 
-// Stats counts traffic on a segment or NIC.
+// Stats counts traffic on a segment or NIC. Drops are split by cause so
+// profiler-facing numbers are truthful: injected medium loss, frames no
+// powered-up NIC wanted (taps may still have observed them), and frames
+// blocked by an administratively-down interface.
 type Stats struct {
 	FramesSent      uint64
 	BytesSent       uint64
 	FramesDelivered uint64
-	FramesDropped   uint64
+	// DropsLoss counts frames lost to the segment's injected loss rate.
+	DropsLoss uint64
+	// DropsNoReceiver counts frames delivered to the medium that no NIC
+	// accepted (unknown destination, or the only match had no handler).
+	DropsNoReceiver uint64
+	// DropsIfaceDown counts frames blocked by a down interface: on a NIC,
+	// both refused transmissions and suppressed receptions; on a segment,
+	// frames whose only would-be receivers were down.
+	DropsIfaceDown uint64
+}
+
+// FramesDropped totals the drop counters across causes.
+func (s Stats) FramesDropped() uint64 {
+	return s.DropsLoss + s.DropsNoReceiver + s.DropsIfaceDown
+}
+
+// segMetrics are a segment's obs counter handles (nil when the owning
+// network is uninstrumented; all methods no-op).
+type segMetrics struct {
+	framesSent      *obs.Counter
+	bytesSent       *obs.Counter
+	framesDelivered *obs.Counter
+	dropsLoss       *obs.Counter
+	dropsNoReceiver *obs.Counter
+	dropsIfaceDown  *obs.Counter
+}
+
+func newSegMetrics(reg *obs.Registry, segment string) segMetrics {
+	if reg == nil {
+		return segMetrics{}
+	}
+	l := obs.L("segment", segment)
+	drop := func(reason string) *obs.Counter {
+		return reg.Counter("netsim_frames_dropped_total", l, obs.L("reason", reason))
+	}
+	return segMetrics{
+		framesSent:      reg.Counter("netsim_frames_sent_total", l),
+		bytesSent:       reg.Counter("netsim_bytes_sent_total", l),
+		framesDelivered: reg.Counter("netsim_frames_delivered_total", l),
+		dropsLoss:       drop("loss"),
+		dropsNoReceiver: drop("no_receiver"),
+		dropsIfaceDown:  drop("iface_down"),
+	}
 }
 
 // Segment is a broadcast domain.
@@ -124,6 +184,7 @@ type Segment struct {
 	nics     []*NIC
 	taps     []Tap
 	stats    Stats
+	met      segMetrics
 }
 
 // SetLossRate makes the segment drop frames uniformly at the given
@@ -160,8 +221,11 @@ func (s *Segment) send(from *NIC, f Frame) {
 	}
 	s.stats.FramesSent++
 	s.stats.BytesSent += uint64(f.Len())
+	s.met.framesSent.Inc()
+	s.met.bytesSent.Add(uint64(f.Len()))
 	if s.lossRate > 0 && s.net.rng.Float64() < s.lossRate {
-		s.stats.FramesDropped++
+		s.stats.DropsLoss++
+		s.met.dropsLoss.Inc()
 		return
 	}
 	delay := s.latency
@@ -176,20 +240,40 @@ func (s *Segment) deliver(from *NIC, f Frame) {
 		t(f)
 	}
 	delivered := false
+	blockedByDown := false
 	for _, nic := range s.nics {
-		if nic == from || nic.handler == nil || nic.down {
+		if nic == from {
 			continue
 		}
-		if f.Dst.IsBroadcast() || nic.mac == f.Dst || nic.promiscuous {
-			nic.stats.FramesDelivered++
-			nic.handler(nic, f)
-			delivered = true
+		wants := f.Dst.IsBroadcast() || nic.mac == f.Dst || nic.promiscuous
+		if !wants {
+			continue
 		}
+		if nic.down {
+			// The frame reached a station that would have taken it, but the
+			// interface is administratively down: count the suppressed rx.
+			nic.stats.DropsIfaceDown++
+			blockedByDown = true
+			continue
+		}
+		if nic.handler == nil {
+			continue
+		}
+		nic.stats.FramesDelivered++
+		nic.handler(nic, f)
+		delivered = true
 	}
-	if delivered {
+	switch {
+	case delivered:
 		s.stats.FramesDelivered++
-	} else {
-		s.stats.FramesDropped++
+		s.met.framesDelivered.Inc()
+	case blockedByDown:
+		s.stats.DropsIfaceDown++
+		s.met.dropsIfaceDown.Inc()
+	default:
+		// Taps may have observed the frame, but no NIC wanted it.
+		s.stats.DropsNoReceiver++
+		s.met.dropsNoReceiver.Inc()
 	}
 }
 
@@ -260,6 +344,10 @@ func (nic *NIC) SetDown(down bool) { nic.down = down }
 // permits spoofing.
 func (nic *NIC) Send(f Frame) {
 	if nic.down {
+		// The frame never reaches the medium, so it does not enter the
+		// segment's sent/dropped accounting — the refused tx is visible on
+		// the NIC itself.
+		nic.stats.DropsIfaceDown++
 		return
 	}
 	if f.Src.IsZero() {

@@ -181,12 +181,28 @@ func TestDownNICDropsTraffic(t *testing.T) {
 	if got != 0 {
 		t.Fatal("down NIC received a frame")
 	}
+	// The suppressed reception is counted, on the NIC and the segment.
+	if b.Stats().DropsIfaceDown != 1 {
+		t.Fatalf("rx-down drop = %d, want 1", b.Stats().DropsIfaceDown)
+	}
+	if seg.Stats().DropsIfaceDown != 1 || seg.Stats().DropsNoReceiver != 0 {
+		t.Fatalf("segment drop split = %+v, want one iface_down drop", seg.Stats())
+	}
 	b.SetDown(false)
 	a.SetDown(true)
+	sentBefore := seg.Stats().FramesSent
 	a.Send(Frame{Dst: b.MAC(), Type: EtherTypeIPv4})
 	clk.Run()
 	if got != 0 {
 		t.Fatal("down NIC transmitted a frame")
+	}
+	// The refused transmission is counted on the NIC and never enters the
+	// segment's sent accounting.
+	if a.Stats().DropsIfaceDown != 1 {
+		t.Fatalf("tx-down drop = %d, want 1", a.Stats().DropsIfaceDown)
+	}
+	if seg.Stats().FramesSent != sentBefore {
+		t.Fatalf("refused tx leaked into segment FramesSent")
 	}
 }
 
@@ -202,8 +218,11 @@ func TestStatsCounters(t *testing.T) {
 	if st.FramesSent != 2 {
 		t.Fatalf("FramesSent = %d, want 2", st.FramesSent)
 	}
-	if st.FramesDelivered != 1 || st.FramesDropped != 1 {
-		t.Fatalf("delivered=%d dropped=%d, want 1,1", st.FramesDelivered, st.FramesDropped)
+	if st.FramesDelivered != 1 || st.FramesDropped() != 1 {
+		t.Fatalf("delivered=%d dropped=%d, want 1,1", st.FramesDelivered, st.FramesDropped())
+	}
+	if st.DropsNoReceiver != 1 || st.DropsLoss != 0 || st.DropsIfaceDown != 0 {
+		t.Fatalf("drop split = %+v, want exactly one no_receiver drop", st)
 	}
 	if st.BytesSent != uint64(14+100+14) {
 		t.Fatalf("BytesSent = %d, want %d", st.BytesSent, 14+100+14)
@@ -277,8 +296,11 @@ func TestLossRateDropsFrames(t *testing.T) {
 	if got < 400 || got > 600 {
 		t.Fatalf("delivered %d/%d at 50%% loss, want about half", got, n)
 	}
-	if int(seg.Stats().FramesDropped) != n-got {
-		t.Fatalf("dropped stat = %d, want %d", seg.Stats().FramesDropped, n-got)
+	if int(seg.Stats().DropsLoss) != n-got {
+		t.Fatalf("loss-drop stat = %d, want %d", seg.Stats().DropsLoss, n-got)
+	}
+	if seg.Stats().FramesDropped() != seg.Stats().DropsLoss {
+		t.Fatalf("loss should be the only drop cause: %+v", seg.Stats())
 	}
 }
 

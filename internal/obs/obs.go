@@ -1,0 +1,517 @@
+// Package obs is the simulator's observability layer: a zero-dependency
+// metrics registry (counters, gauges with high-water marks, histograms with
+// fixed bucket boundaries) plus a lightweight event-trace ring buffer.
+//
+// The package is designed for the single-threaded simtime world: metric
+// handles are plain structs and mutation is a direct field update — no
+// locks, no atomics on the hot path. A Registry therefore belongs to
+// exactly one simulation (one goroutine). The synchronization boundary is
+// Snapshot: the owning goroutine takes a value-copy Snapshot after its run,
+// and snapshots from many independent runs (the parallel table runner's
+// workers) are merged with Merge, which is safe to call from any goroutine
+// because snapshots are plain values.
+//
+// Every handle method is nil-receiver safe, so instrumented components pay
+// a single predictable branch when no registry is attached.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Label is one key=value dimension of a metric.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+func labelKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('{')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	name   string
+	labels []Label
+	v      uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous value that also tracks its high-water mark.
+type Gauge struct {
+	name   string
+	labels []Label
+	v      int64
+	max    int64
+}
+
+// Set records the current value and updates the high-water mark.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Add shifts the current value by d.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.Set(g.v + d)
+}
+
+// Value returns the current value (0 on a nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Max returns the high-water mark (0 on a nil handle).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max
+}
+
+// Histogram is a fixed-boundary histogram. Bounds are upper bounds in
+// ascending order; an observation lands in the first bucket whose bound is
+// >= the value, or in the implicit +Inf overflow bucket.
+type Histogram struct {
+	name   string
+	labels []Label
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is +Inf
+	sum    float64
+	n      uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations (0 on a nil handle).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of observations (0 on a nil handle).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// DurationBuckets is a general-purpose set of histogram bounds, in seconds,
+// spanning sub-millisecond latencies up to multi-hour holds.
+var DurationBuckets = []float64{
+	0.001, 0.01, 0.1, 0.5, 1, 2, 5, 10, 30, 60, 120, 300, 900, 3600, 7200,
+}
+
+// CountBuckets is a general-purpose set of bounds for event/step counts.
+var CountBuckets = []float64{
+	1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000,
+}
+
+// Registry owns a simulation's metrics and its trace buffer. The zero
+// value is not usable; create one with NewRegistry. A nil *Registry is a
+// valid "off" registry: every constructor returns a nil handle and every
+// handle method no-ops.
+type Registry struct {
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+	byKey    map[string]any
+	trace    *Trace
+}
+
+// NewRegistry creates an empty registry with a default-sized trace buffer.
+func NewRegistry() *Registry {
+	return &Registry{
+		byKey: make(map[string]any),
+		trace: NewTrace(DefaultTraceCap),
+	}
+}
+
+// Counter returns the counter with the given name and labels, creating it
+// on first use. Repeated calls with equal name+labels return the same
+// handle.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := labelKey(name, labels)
+	if m, ok := r.byKey[k]; ok {
+		c, ok := m.(*Counter)
+		if !ok {
+			panic(fmt.Sprintf("obs: %s already registered as a different metric type", k))
+		}
+		return c
+	}
+	c := &Counter{name: name, labels: labels}
+	r.byKey[k] = c
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Gauge returns the gauge with the given name and labels, creating it on
+// first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := labelKey(name, labels)
+	if m, ok := r.byKey[k]; ok {
+		g, ok := m.(*Gauge)
+		if !ok {
+			panic(fmt.Sprintf("obs: %s already registered as a different metric type", k))
+		}
+		return g
+	}
+	g := &Gauge{name: name, labels: labels}
+	r.byKey[k] = g
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// Histogram returns the histogram with the given name, bounds and labels,
+// creating it on first use. Bounds must be ascending; they are fixed at
+// creation and later calls reuse the original bounds.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := labelKey(name, labels)
+	if m, ok := r.byKey[k]; ok {
+		h, ok := m.(*Histogram)
+		if !ok {
+			panic(fmt.Sprintf("obs: %s already registered as a different metric type", k))
+		}
+		return h
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s bounds not ascending", name))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	h := &Histogram{name: name, labels: labels, bounds: b, counts: make([]uint64, len(b)+1)}
+	r.byKey[k] = h
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// Trace returns the registry's trace buffer (nil on a nil registry, which
+// Trace methods tolerate).
+func (r *Registry) Trace() *Trace {
+	if r == nil {
+		return nil
+	}
+	return r.trace
+}
+
+// SetTraceCapacity replaces the trace buffer with one of the given
+// capacity, discarding buffered events. A capacity of 0 disables tracing.
+func (r *Registry) SetTraceCapacity(n int) {
+	if r == nil {
+		return
+	}
+	r.trace = NewTrace(n)
+}
+
+// Snapshot is a value copy of a registry's state at one instant. It is a
+// plain value: safe to pass between goroutines, compare with
+// reflect.DeepEqual, and encode as JSON.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+	Trace      []TraceEvent     `json:"trace,omitempty"`
+	// TraceDropped counts trace events lost to ring-buffer wraparound.
+	TraceDropped uint64 `json:"traceDropped,omitempty"`
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  uint64  `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  int64   `json:"value"`
+	Max    int64   `json:"max"`
+}
+
+// HistogramValue is one histogram in a snapshot.
+type HistogramValue struct {
+	Name   string    `json:"name"`
+	Labels []Label   `json:"labels,omitempty"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Snapshot copies the registry's current state. Metrics are emitted in a
+// deterministic order (sorted by name, then labels) so equal runs produce
+// byte-identical snapshots.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	s.Counters = make([]CounterValue, 0, len(r.counters))
+	for _, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: c.name, Labels: copyLabels(c.labels), Value: c.v})
+	}
+	s.Gauges = make([]GaugeValue, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: g.name, Labels: copyLabels(g.labels), Value: g.v, Max: g.max})
+	}
+	s.Histograms = make([]HistogramValue, 0, len(r.hists))
+	for _, h := range r.hists {
+		counts := make([]uint64, len(h.counts))
+		copy(counts, h.counts)
+		bounds := make([]float64, len(h.bounds))
+		copy(bounds, h.bounds)
+		s.Histograms = append(s.Histograms, HistogramValue{
+			Name: h.name, Labels: copyLabels(h.labels),
+			Bounds: bounds, Counts: counts, Sum: h.sum, Count: h.n,
+		})
+	}
+	if r.trace != nil {
+		s.Trace = r.trace.Events()
+		s.TraceDropped = r.trace.Dropped()
+	}
+	s.sort()
+	return s
+}
+
+func copyLabels(ls []Label) []Label {
+	if len(ls) == 0 {
+		return nil
+	}
+	out := make([]Label, len(ls))
+	copy(out, ls)
+	return out
+}
+
+func (s *Snapshot) sort() {
+	sort.Slice(s.Counters, func(i, j int) bool {
+		return labelKey(s.Counters[i].Name, s.Counters[i].Labels) < labelKey(s.Counters[j].Name, s.Counters[j].Labels)
+	})
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		return labelKey(s.Gauges[i].Name, s.Gauges[i].Labels) < labelKey(s.Gauges[j].Name, s.Gauges[j].Labels)
+	})
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		return labelKey(s.Histograms[i].Name, s.Histograms[i].Labels) < labelKey(s.Histograms[j].Name, s.Histograms[j].Labels)
+	})
+}
+
+// Counter returns the value of the named counter in the snapshot, or 0.
+func (s Snapshot) Counter(name string, labels ...Label) uint64 {
+	k := labelKey(name, labels)
+	for _, c := range s.Counters {
+		if labelKey(c.Name, c.Labels) == k {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge in the snapshot, or a zero value.
+func (s Snapshot) Gauge(name string, labels ...Label) GaugeValue {
+	k := labelKey(name, labels)
+	for _, g := range s.Gauges {
+		if labelKey(g.Name, g.Labels) == k {
+			return g
+		}
+	}
+	return GaugeValue{Name: name, Labels: labels}
+}
+
+// Histogram returns the named histogram in the snapshot and whether it
+// exists.
+func (s Snapshot) Histogram(name string, labels ...Label) (HistogramValue, bool) {
+	k := labelKey(name, labels)
+	for _, h := range s.Histograms {
+		if labelKey(h.Name, h.Labels) == k {
+			return h, true
+		}
+	}
+	return HistogramValue{}, false
+}
+
+// Families returns the sorted set of metric family names (counter, gauge
+// and histogram names without labels) present in the snapshot.
+func (s Snapshot) Families() []string {
+	seen := make(map[string]bool)
+	for _, c := range s.Counters {
+		seen[c.Name] = true
+	}
+	for _, g := range s.Gauges {
+		seen[g.Name] = true
+	}
+	for _, h := range s.Histograms {
+		seen[h.Name] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge combines snapshots from independent runs into one: counters and
+// histogram buckets sum, gauge values sum while high-water marks take the
+// per-run maximum (a merged queue-depth HWM answers "the deepest any one
+// run got"). Histograms with mismatched bounds panic — bounds are part of
+// a metric's identity. Traces are concatenated in argument order. Merge
+// only touches plain values, so it is safe wherever the snapshots
+// themselves were safely produced.
+func Merge(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	counters := make(map[string]*CounterValue)
+	gauges := make(map[string]*GaugeValue)
+	hists := make(map[string]*HistogramValue)
+	for _, s := range snaps {
+		for _, c := range s.Counters {
+			k := labelKey(c.Name, c.Labels)
+			if e, ok := counters[k]; ok {
+				e.Value += c.Value
+			} else {
+				cc := c
+				cc.Labels = copyLabels(c.Labels)
+				counters[k] = &cc
+			}
+		}
+		for _, g := range s.Gauges {
+			k := labelKey(g.Name, g.Labels)
+			if e, ok := gauges[k]; ok {
+				e.Value += g.Value
+				if g.Max > e.Max {
+					e.Max = g.Max
+				}
+			} else {
+				gg := g
+				gg.Labels = copyLabels(g.Labels)
+				gauges[k] = &gg
+			}
+		}
+		for _, h := range s.Histograms {
+			k := labelKey(h.Name, h.Labels)
+			if e, ok := hists[k]; ok {
+				if len(e.Bounds) != len(h.Bounds) {
+					panic(fmt.Sprintf("obs: merge of histogram %s with mismatched bounds", k))
+				}
+				for i := range e.Bounds {
+					if e.Bounds[i] != h.Bounds[i] {
+						panic(fmt.Sprintf("obs: merge of histogram %s with mismatched bounds", k))
+					}
+				}
+				for i := range e.Counts {
+					e.Counts[i] += h.Counts[i]
+				}
+				e.Sum += h.Sum
+				e.Count += h.Count
+			} else {
+				hh := h
+				hh.Labels = copyLabels(h.Labels)
+				hh.Bounds = append([]float64(nil), h.Bounds...)
+				hh.Counts = append([]uint64(nil), h.Counts...)
+				hists[k] = &hh
+			}
+		}
+		out.Trace = append(out.Trace, s.Trace...)
+		out.TraceDropped += s.TraceDropped
+	}
+	out.Counters = make([]CounterValue, 0, len(counters))
+	for _, c := range counters {
+		out.Counters = append(out.Counters, *c)
+	}
+	out.Gauges = make([]GaugeValue, 0, len(gauges))
+	for _, g := range gauges {
+		out.Gauges = append(out.Gauges, *g)
+	}
+	out.Histograms = make([]HistogramValue, 0, len(hists))
+	for _, h := range hists {
+		out.Histograms = append(out.Histograms, *h)
+	}
+	out.sort()
+	return out
+}

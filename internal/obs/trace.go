@@ -1,0 +1,98 @@
+package obs
+
+import "time"
+
+// DefaultTraceCap is the default trace ring capacity. Sized so a full
+// Table-I measurement keeps its most recent attack-relevant events without
+// the buffer dominating a snapshot.
+const DefaultTraceCap = 4096
+
+// TraceEvent is one entry in the event-trace ring: what happened, where,
+// at which virtual time, with an optional numeric payload (a byte count, a
+// held-record count, a retry number — whatever the component finds
+// useful).
+type TraceEvent struct {
+	// At is virtual time since simulation start.
+	At time.Duration `json:"at"`
+	// Component names the emitting subsystem ("simtime", "netsim", ...).
+	Component string `json:"component"`
+	// Event names what happened ("record_held", "rto_fired", ...).
+	Event string `json:"event"`
+	// Detail disambiguates within a component (a flow, a device label).
+	Detail string `json:"detail,omitempty"`
+	// Value carries an optional numeric payload.
+	Value int64 `json:"value,omitempty"`
+}
+
+// Trace is a fixed-capacity ring buffer of TraceEvents. Like the rest of
+// the package it is single-writer: append from the simulation goroutine,
+// read after the run. A nil *Trace drops everything.
+type Trace struct {
+	buf     []TraceEvent
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+// NewTrace creates a ring holding up to capacity events. Capacity <= 0
+// returns a disabled trace that drops every event.
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		return &Trace{}
+	}
+	return &Trace{buf: make([]TraceEvent, 0, capacity)}
+}
+
+// Add appends an event, evicting the oldest once the ring is full.
+func (t *Trace) Add(ev TraceEvent) {
+	if t == nil || cap(t.buf) == 0 {
+		if t != nil {
+			t.dropped++
+		}
+		return
+	}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+		return
+	}
+	t.buf[t.next] = ev
+	t.next = (t.next + 1) % cap(t.buf)
+	t.wrapped = true
+	t.dropped++
+}
+
+// Emit is sugar for Add.
+func (t *Trace) Emit(at time.Duration, component, event, detail string, value int64) {
+	t.Add(TraceEvent{At: at, Component: component, Event: event, Detail: detail, Value: value})
+}
+
+// Len reports the number of buffered events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Dropped reports how many events were evicted or discarded.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events returns the buffered events oldest-first.
+func (t *Trace) Events() []TraceEvent {
+	if t == nil || len(t.buf) == 0 {
+		return nil
+	}
+	out := make([]TraceEvent, 0, len(t.buf))
+	if t.wrapped {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}

@@ -15,6 +15,8 @@ import (
 	"container/heap"
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Time is an instant of virtual time, measured as an offset from the start
@@ -29,7 +31,17 @@ type Clock struct {
 	seq      uint64
 	inEvent  bool
 	maxSteps uint64
-	steps    uint64
+	// steps counts events executed since the current Run/RunUntil call
+	// began; it is reset at the start of each call so the runaway guard
+	// bounds one call, not the clock's lifetime.
+	steps   uint64
+	running bool
+
+	// Instrumentation handles; nil (no-op) until Instrument is called.
+	mEvents   *obs.Counter
+	mRuns     *obs.Counter
+	mQueueHWM *obs.Gauge
+	mRunSteps *obs.Histogram
 }
 
 // NewClock returns a Clock starting at virtual time zero.
@@ -43,6 +55,25 @@ const defaultMaxSteps = 200_000_000
 
 // Now returns the current virtual time.
 func (c *Clock) Now() Time { return c.now }
+
+// Instrument registers the clock's metrics with reg and starts updating
+// them:
+//
+//	simtime_events_total     counter — events executed
+//	simtime_runs_total       counter — Run/RunUntil/RunFor calls
+//	simtime_run_steps        histogram — events executed per run call
+//	simtime_queue_depth      gauge — pending events (Max is the high-water
+//	                         mark; the value updates on schedule and at the
+//	                         end of each run call, not on every pop)
+//
+// The hot-path cost is one counter increment per event and one gauge
+// update per schedule; see BenchmarkClockInstrumentationOverhead.
+func (c *Clock) Instrument(reg *obs.Registry) {
+	c.mEvents = reg.Counter("simtime_events_total")
+	c.mRuns = reg.Counter("simtime_runs_total")
+	c.mQueueHWM = reg.Gauge("simtime_queue_depth")
+	c.mRunSteps = reg.Histogram("simtime_run_steps", obs.CountBuckets)
+}
 
 // SetStepLimit overrides the runaway-loop guard. A limit of 0 restores the
 // default.
@@ -75,12 +106,23 @@ func (c *Clock) At(t Time, fn func()) *Timer {
 	ev := &event{when: t, seq: c.seq, fn: fn}
 	c.seq++
 	heap.Push(&c.events, ev)
+	c.mQueueHWM.Set(int64(len(c.events)))
 	return &Timer{clock: c, ev: ev}
 }
 
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
+//
+// A caller-driven Step loop is bounded by the caller, so each standalone
+// Step call restarts the runaway-guard window.
 func (c *Clock) Step() bool {
+	if !c.running {
+		c.steps = 0
+	}
+	return c.step()
+}
+
+func (c *Clock) step() bool {
 	for c.events.Len() > 0 {
 		ev, ok := heap.Pop(&c.events).(*event)
 		if !ok {
@@ -96,21 +138,41 @@ func (c *Clock) Step() bool {
 	return false
 }
 
+// startRun opens a runaway-guard window: the step counter restarts so the
+// limit bounds this call, not the clock's lifetime.
+func (c *Clock) startRun() {
+	c.steps = 0
+	c.running = true
+}
+
+func (c *Clock) finishRun() {
+	c.running = false
+	c.mRuns.Inc()
+	c.mRunSteps.Observe(float64(c.steps))
+	// Depth only grows on push, so the high-water mark is maintained there;
+	// the current value is refreshed here, off the per-event path.
+	c.mQueueHWM.Set(int64(len(c.events)))
+}
+
 // Run executes events until the queue is empty.
 func (c *Clock) Run() {
-	for c.Step() {
+	c.startRun()
+	defer c.finishRun()
+	for c.step() {
 	}
 }
 
 // RunUntil executes events with timestamps <= t, then advances the clock to
 // t. Events scheduled after t remain pending.
 func (c *Clock) RunUntil(t Time) {
+	c.startRun()
+	defer c.finishRun()
 	for {
 		ev := c.peek()
 		if ev == nil || ev.when > t {
 			break
 		}
-		c.Step()
+		c.step()
 	}
 	if t > c.now {
 		c.now = t
@@ -158,6 +220,7 @@ func (c *Clock) peek() *event {
 
 func (c *Clock) runEvent(ev *event) {
 	c.steps++
+	c.mEvents.Inc()
 	if c.steps > c.maxSteps {
 		panic(fmt.Sprintf("simtime: step limit %d exceeded at t=%v (runaway event loop?)", c.maxSteps, c.now))
 	}
@@ -185,8 +248,14 @@ func (t *Timer) Stop() bool {
 	return true
 }
 
-// When returns the virtual time the callback is (or was) scheduled for.
-func (t *Timer) When() Time { return t.ev.when }
+// When returns the virtual time the callback is (or was) scheduled for,
+// or 0 on a nil or zero Timer (mirroring Stop and Active's nil guards).
+func (t *Timer) When() Time {
+	if t == nil || t.ev == nil {
+		return 0
+	}
+	return t.ev.when
+}
 
 // Active reports whether the callback is still pending.
 func (t *Timer) Active() bool {

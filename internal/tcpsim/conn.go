@@ -245,6 +245,7 @@ func (c *Conn) transmitEntry(e rtxEntry, isRetransmit bool) {
 	seg := Segment{Seq: e.seq, Ack: c.rcvNxt, Flags: flags, Payload: e.payload}
 	if isRetransmit {
 		c.stats.Retransmits++
+		c.stack.met.retransmits.Inc()
 	}
 	c.transmitRaw(seg)
 }
@@ -252,6 +253,7 @@ func (c *Conn) transmitEntry(e rtxEntry, isRetransmit bool) {
 func (c *Conn) transmitRaw(seg Segment) {
 	c.stats.SegmentsSent++
 	c.stats.BytesSent += uint64(len(seg.Payload))
+	c.stack.met.segmentsSent.Inc()
 	c.touch()
 	c.stack.sendRaw(c.local, c.remote, seg)
 }
@@ -276,6 +278,12 @@ func (c *Conn) stopRTO() {
 	if c.rtxTimer != nil {
 		c.rtxTimer.Stop()
 		c.rtxTimer = nil
+	}
+	if c.retries > 0 {
+		// An ACK made progress while backoff was in flight: the exponential
+		// backoff state is abandoned — the alarm the phantom-delay attack
+		// keeps from ever arming.
+		c.stack.met.backoffResets.Inc()
 	}
 	c.rto = c.stack.cfg.RTOInitial
 	c.retries = 0
@@ -332,9 +340,11 @@ func (c *Conn) onKeepAlive() {
 	}
 	c.kaProbes++
 	c.stats.ProbesSent++
+	c.stack.met.kaProbes.Inc()
 	// Probe: one byte before snd.nxt, empty payload; elicits a bare ACK.
 	c.stack.sendRaw(c.local, c.remote, Segment{Seq: c.sndNxt - 1, Ack: c.rcvNxt, Flags: FlagACK})
 	c.stats.SegmentsSent++
+	c.stack.met.segmentsSent.Inc()
 	c.kaTimer = c.stack.clk.Schedule(c.stack.cfg.KeepAliveInterval, c.onKeepAlive)
 }
 
@@ -456,6 +466,7 @@ func (c *Conn) processSequenced(seg Segment) {
 			c.ooo = make(map[uint32]Segment)
 		}
 		c.ooo[seg.Seq] = seg
+		c.stack.met.oooDepth.Set(int64(len(c.ooo)))
 		c.sendAck() // duplicate ACK for the gap
 	default:
 		// Full duplicate of something already received.
@@ -480,6 +491,9 @@ func (c *Conn) drainOOO() {
 	for {
 		seg, ok := c.ooo[c.rcvNxt]
 		if !ok {
+			if c.ooo != nil {
+				c.stack.met.oooDepth.Set(int64(len(c.ooo)))
+			}
 			return
 		}
 		delete(c.ooo, c.rcvNxt)
@@ -521,6 +535,7 @@ func (c *Conn) teardown(err error) {
 		c.kaTimer.Stop()
 	}
 	c.stack.removeConn(c)
+	c.stack.met.connClosed(err)
 	if !c.notified && c.OnClose != nil {
 		c.notified = true
 		c.OnClose(err)

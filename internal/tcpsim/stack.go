@@ -1,10 +1,12 @@
 package tcpsim
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/ipnet"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -78,6 +80,64 @@ type Stack struct {
 	// SendRST controls whether segments for unknown connections are
 	// answered with RST (real stacks do; default true).
 	SendRST bool
+
+	met stackMetrics
+}
+
+// stackMetrics are a stack's obs handles; the zero value (all nil) is the
+// uninstrumented no-op state.
+type stackMetrics struct {
+	segmentsSent  *obs.Counter
+	retransmits   *obs.Counter
+	backoffResets *obs.Counter
+	kaProbes      *obs.Counter
+	oooDepth      *obs.Gauge
+	connsOpened   *obs.Counter
+	closedByCause map[string]*obs.Counter
+}
+
+// Instrument registers the stack's metrics with reg, labeled by host:
+//
+//	tcpsim_segments_sent_total{host}   every transmitted segment
+//	tcpsim_retransmits_total{host}     RTO-driven retransmissions
+//	tcpsim_backoff_resets_total{host}  backoff abandoned after an ACK made progress
+//	tcpsim_keepalive_probes_total{host}
+//	tcpsim_ooo_queue_depth{host}       out-of-order queue length (Max = high-water)
+//	tcpsim_conns_opened_total{host}
+//	tcpsim_conns_closed_total{host,cause}
+//	    cause: graceful | timeout | keepalive_timeout | reset | aborted
+func (s *Stack) Instrument(reg *obs.Registry, host string) {
+	l := obs.L("host", host)
+	s.met = stackMetrics{
+		segmentsSent:  reg.Counter("tcpsim_segments_sent_total", l),
+		retransmits:   reg.Counter("tcpsim_retransmits_total", l),
+		backoffResets: reg.Counter("tcpsim_backoff_resets_total", l),
+		kaProbes:      reg.Counter("tcpsim_keepalive_probes_total", l),
+		oooDepth:      reg.Gauge("tcpsim_ooo_queue_depth", l),
+		connsOpened:   reg.Counter("tcpsim_conns_opened_total", l),
+		closedByCause: make(map[string]*obs.Counter),
+	}
+	for _, cause := range []string{"graceful", "timeout", "keepalive_timeout", "reset", "aborted"} {
+		s.met.closedByCause[cause] = reg.Counter("tcpsim_conns_closed_total", l, obs.L("cause", cause))
+	}
+}
+
+func (m stackMetrics) connClosed(err error) {
+	if m.closedByCause == nil {
+		return
+	}
+	cause := "graceful"
+	switch {
+	case errors.Is(err, ErrTimeout):
+		cause = "timeout"
+	case errors.Is(err, ErrKeepAliveTimeout):
+		cause = "keepalive_timeout"
+	case errors.Is(err, ErrReset):
+		cause = "reset"
+	case err != nil:
+		cause = "aborted"
+	}
+	m.closedByCause[cause].Inc()
 }
 
 // NewStack creates a TCP layer bound to an IP stack and registers itself as
@@ -183,6 +243,7 @@ func (s *Stack) HandlePacket(p ipnet.Packet) {
 }
 
 func (s *Stack) newConn(local, remote Endpoint) *Conn {
+	s.met.connsOpened.Inc()
 	iss := uint32(s.rng.Int63())
 	return &Conn{
 		stack:  s,

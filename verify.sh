@@ -1,0 +1,21 @@
+#!/bin/sh
+# Tier-1 verification: everything here must pass on every commit.
+#
+#   build    — the whole module compiles
+#   vet      — static checks
+#   test     — full test suite
+#   race     — the packages that spawn goroutines (the parallel table
+#              runner and the obs snapshot/merge boundary) under the
+#              race detector
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go build"
+go build ./...
+echo "== go vet"
+go vet ./...
+echo "== go test"
+go test ./...
+echo "== go test -race (concurrency boundary)"
+go test -race ./internal/experiment/ ./internal/obs/
+echo "verify: OK"
