@@ -12,6 +12,7 @@
 //	BenchmarkDefenseTimestamp       — Section VII-B evaluation
 //	BenchmarkAblationMargin         — release-margin design sweep
 //	BenchmarkAblationBoundary       — detection-cliff sweep
+//	BenchmarkFleetCampaign          — fleet-scale campaign throughput
 //
 // Each benchmark reports domain metrics alongside timing: achieved delay
 // windows, success fractions, residual windows. Run with:
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/simtime"
 )
@@ -249,6 +251,34 @@ func BenchmarkObsInstrumentedHotPath(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		obsWorkload(obs.NewRegistry())
+	}
+}
+
+// BenchmarkFleetCampaign runs the default campaign over a synthetic
+// population, reporting population throughput (homes/s) and campaign
+// outcome fractions. Parallelism comes from the fleet worker pool, not
+// b.RunParallel: the unit of work is one whole home.
+func BenchmarkFleetCampaign(b *testing.B) {
+	const homes = 64
+	var res fleet.Result
+	for i := 0; i < b.N; i++ {
+		c := fleet.Campaign{
+			Spec:      fleet.DefaultSpec(),
+			Homes:     homes,
+			Workers:   runtime.GOMAXPROCS(0),
+			ShardSize: 8,
+			Seed:      1000 + int64(i),
+		}
+		var err error
+		res, err = c.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(homes)*float64(b.N)/b.Elapsed().Seconds(), "homes/s")
+	if res.TotalTrials > 0 {
+		b.ReportMetric(float64(res.TotalSuccesses)/float64(res.TotalTrials), "success-frac")
+		b.ReportMetric(float64(res.Metrics.Counter("fleet_alarms_total")), "alarms")
 	}
 }
 

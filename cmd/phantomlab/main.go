@@ -1,27 +1,35 @@
 // Command phantomlab reproduces the paper's evaluation: the Table I/II
 // timeout measurements, the Table III proof-of-concept attacks, the
-// verification test, the three session-behaviour findings, and the
-// countermeasure studies.
+// verification test, the three session-behaviour findings, the
+// countermeasure studies, and fleet-scale attack campaigns over synthetic
+// home populations.
 //
 // Usage:
 //
 //	phantomlab [flags] <table1|table2|table3|verify|findings|defense|recon|ablation|all>
+//	phantomlab fleet [-homes N] [-workers W] [-seed S] [-campaign spec.json]
+//	                 [-checkpoint state.json] [-out results.json]
 //
 // Flags:
 //
 //	-seed N      deterministic seed (default 1)
 //	-trials N    measurement trials per message class (default 3; paper: 20)
 //	-recovery D  inter-trial recovery (default 30s; paper: 2m)
+//	-metrics F   write the run's merged metrics snapshot to F
+//	             (table1, table2, table3, verify, findings, defense)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/device"
 	"repro/internal/experiment"
+	"repro/internal/fleet"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -38,29 +46,33 @@ func run(args []string) error {
 	recovery := fs.Duration("recovery", 30*time.Second, "inter-trial recovery (paper uses 2m)")
 	jsonOut := fs.Bool("json", false, "emit JSON instead of rendered tables (table1/table2/table3)")
 	parallel := fs.Int("parallel", 0, "measure tables with N concurrent testbeds (0 = serial)")
-	metricsOut := fs.String("metrics", "", "write merged table metrics snapshot to this JSON file (table1/table2)")
+	metricsOut := fs.String("metrics", "", "write merged metrics snapshot to this JSON file (table1/table2/table3/verify/findings/defense)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Flag parsing stops at the first positional, so subcommand flags
+	// arrive in fs.Args()[1:].
+	if fs.NArg() >= 1 && fs.Arg(0) == "fleet" {
+		return runFleet(fs.Args()[1:])
+	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("expected one command: table1|table2|table3|verify|findings|defense|recon|ablation|all")
+		return fmt.Errorf("expected one command: table1|table2|table3|verify|findings|defense|recon|ablation|all|fleet")
 	}
 	cmd := fs.Arg(0)
 
 	opts := experiment.TableOptions{Seed: *seed, Trials: *trials, Recovery: *recovery}
 	out := os.Stdout
 
-	// Rows from every table command of this invocation, for -metrics: the
-	// per-testbed snapshots (one per device, across all parallel workers)
-	// merge into a single file.
-	var metricRows []experiment.TableRow
+	// Metrics snapshots from every command of this invocation, for
+	// -metrics: per-testbed snapshots merge into a single file.
+	var metricSnaps []obs.Snapshot
 
 	runOne := func(name string) error {
 		switch name {
 		case "table1":
 			rows := runTable(cloudLabels(), opts, *parallel)
-			metricRows = append(metricRows, rows...)
+			metricSnaps = append(metricSnaps, experiment.MergedMetrics(rows))
 			if *jsonOut {
 				return experiment.WriteRowsJSON(out, rows)
 			}
@@ -69,13 +81,16 @@ func run(args []string) error {
 			t2 := opts
 			t2.UnboundedDemo = 2 * time.Hour
 			rows := runTable(localLabels(), t2, *parallel)
-			metricRows = append(metricRows, rows...)
+			metricSnaps = append(metricSnaps, experiment.MergedMetrics(rows))
 			if *jsonOut {
 				return experiment.WriteRowsJSON(out, rows)
 			}
 			experiment.FormatRows(out, "Table II — HomeKit accessories on a local hub (17)", rows)
 		case "table3":
 			results := experiment.RunCases(experiment.Table3Cases(), *seed+500)
+			for _, r := range results {
+				metricSnaps = append(metricSnaps, r.Metrics)
+			}
 			if *jsonOut {
 				return experiment.WriteCasesJSON(out, results)
 			}
@@ -83,13 +98,24 @@ func run(args []string) error {
 		case "verify":
 			labels := []string{"C1", "L2", "CM1", "K2", "M7", "A1"}
 			results := experiment.RunVerification(labels, experiment.VerifyOptions{Seed: *seed + 600, Trials: *trials})
+			for _, r := range results {
+				metricSnaps = append(metricSnaps, r.Metrics)
+			}
 			experiment.FormatVerifyResults(out, results)
 		case "findings":
-			experiment.FormatFindings(out, experiment.RunFindings(*seed+700))
+			results := experiment.RunFindings(*seed + 700)
+			for _, r := range results {
+				metricSnaps = append(metricSnaps, r.Metrics)
+			}
+			experiment.FormatFindings(out, results)
 		case "defense":
 			ack := experiment.RunAckTimeoutDefense("C2",
 				[]time.Duration{20 * time.Second, 10 * time.Second, 5 * time.Second}, *seed+800)
 			ts := experiment.RunTimestampDefense(*seed + 820)
+			for _, r := range ack {
+				metricSnaps = append(metricSnaps, r.Metrics)
+			}
+			metricSnaps = append(metricSnaps, ts.Metrics)
 			experiment.FormatDefenseResults(out, ack, ts)
 		case "recon":
 			labels := []string{"C1", "M1", "L2", "M2", "C2", "M3", "LK1", "P2", "CM1", "K2", "SD1", "P4"}
@@ -114,26 +140,86 @@ func run(args []string) error {
 				return err
 			}
 		}
-		return writeMetrics(*metricsOut, metricRows)
+		return writeMetrics(*metricsOut, cmd, metricSnaps)
 	}
 	if err := runOne(cmd); err != nil {
 		return err
 	}
-	return writeMetrics(*metricsOut, metricRows)
+	return writeMetrics(*metricsOut, cmd, metricSnaps)
 }
 
-// writeMetrics dumps the merged metrics snapshot of all measured rows to
-// path. A run that produced no table rows writes an empty snapshot, which
-// keeps the output shape stable for tooling.
-func writeMetrics(path string, rows []experiment.TableRow) error {
+// runFleet executes the fleet subcommand: a sharded attack campaign over a
+// synthetic population of homes.
+func runFleet(args []string) error {
+	fs := flag.NewFlagSet("phantomlab fleet", flag.ContinueOnError)
+	homes := fs.Int("homes", 100, "population size")
+	workers := fs.Int("workers", 1, "worker-pool size (wall-clock only; results are identical for any value)")
+	seed := fs.Int64("seed", 1, "population master seed")
+	campaignPath := fs.String("campaign", "", "campaign spec JSON file (default: built-in edelay-sensors campaign)")
+	checkpointPath := fs.String("checkpoint", "", "persist completed shards to this JSON file and resume from it")
+	outPath := fs.String("out", "", "write aggregated results JSON to this file (default stdout)")
+	shardSize := fs.Int("shard-size", fleet.DefaultShardSize, "homes per checkpoint shard")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("fleet takes no positional arguments, got %q", fs.Args())
+	}
+
+	spec := fleet.DefaultSpec()
+	if *campaignPath != "" {
+		data, err := os.ReadFile(*campaignPath)
+		if err != nil {
+			return fmt.Errorf("campaign spec: %w", err)
+		}
+		if spec, err = fleet.ParseSpec(data); err != nil {
+			return err
+		}
+	}
+
+	c := fleet.Campaign{
+		Spec:           spec,
+		Homes:          *homes,
+		Workers:        *workers,
+		ShardSize:      *shardSize,
+		Seed:           *seed,
+		CheckpointPath: *checkpointPath,
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "fleet: %d/%d shards\n", done, total)
+		},
+	}
+	res, err := c.Run()
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return fmt.Errorf("fleet output: %w", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	return res.WriteJSON(w)
+}
+
+// writeMetrics dumps the merged metrics snapshot of the run to path. A run
+// that produced no snapshots has nothing meaningful to write — that is a
+// usage error, not an empty file.
+func writeMetrics(path, cmd string, snaps []obs.Snapshot) error {
 	if path == "" {
 		return nil
+	}
+	if len(snaps) == 0 {
+		return fmt.Errorf("-metrics: command %q produces no metrics (supported: table1, table2, table3, verify, findings, defense, all)", cmd)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("metrics output: %w", err)
 	}
-	if err := experiment.WriteMetricsJSON(f, rows); err != nil {
+	if err := experiment.WriteSnapshotsJSON(f, snaps); err != nil {
 		f.Close()
 		return fmt.Errorf("metrics output: %w", err)
 	}

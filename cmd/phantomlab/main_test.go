@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/fleet"
 	"repro/internal/obs"
 )
 
@@ -67,5 +69,83 @@ func TestRunFindingsCommand(t *testing.T) {
 func TestRunVerifyCommand(t *testing.T) {
 	if err := run([]string{"-seed", "3", "-trials", "1", "verify"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunFindingsMetricsOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := run([]string{"-seed", "3", "-metrics", path, "findings"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Counters) == 0 {
+		t.Fatal("findings metrics snapshot is empty")
+	}
+}
+
+func TestWriteMetricsRejectsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	err := writeMetrics(path, "recon", nil)
+	if err == nil {
+		t.Fatal("empty snapshot set should be rejected")
+	}
+	if _, statErr := os.Stat(path); statErr == nil {
+		t.Fatal("rejected -metrics run still wrote a file")
+	}
+}
+
+func TestRunFleetCommand(t *testing.T) {
+	dir := t.TempDir()
+	outA := filepath.Join(dir, "a.json")
+	outB := filepath.Join(dir, "b.json")
+	if err := run([]string{"fleet", "-homes", "6", "-workers", "1", "-seed", "9", "-out", outA,
+		"-checkpoint", filepath.Join(dir, "ck-a.json")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"fleet", "-homes", "6", "-workers", "3", "-seed", "9", "-out", outB,
+		"-checkpoint", filepath.Join(dir, "ck-b.json")}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(outA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(outB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("fleet results differ across worker counts")
+	}
+	var res fleet.Result
+	if err := json.Unmarshal(a, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTrials == 0 || len(res.PerModel) == 0 {
+		t.Fatalf("fleet result looks empty: %+v", res)
+	}
+}
+
+func TestRunFleetRejectsBadSpec(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, []byte(`{"attack":"ddos"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"fleet", "-homes", "1", "-campaign", specPath}); err == nil {
+		t.Fatal("invalid campaign spec accepted")
+	}
+	if err := run([]string{"fleet", "-campaign", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Fatal("missing campaign spec accepted")
+	}
+	if err := run([]string{"fleet", "extra"}); err == nil {
+		t.Fatal("positional arg accepted")
 	}
 }

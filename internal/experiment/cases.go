@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/simtime"
 )
@@ -113,6 +114,10 @@ type CaseResult struct {
 	AttackDetail        string
 	AttackAlarms        int
 	Err                 error
+
+	// Metrics is the merged observability snapshot of both arms'
+	// testbeds (whatever each arm produced before any failure).
+	Metrics obs.Snapshot
 }
 
 // Succeeded reports the paper's expectation: the consequence appears only
@@ -131,10 +136,11 @@ func RunCases(cases []Case, seed int64) []CaseResult {
 	return out
 }
 
-func runCase(c Case, seed int64) CaseResult {
-	res := CaseResult{Case: c}
+func runCase(c Case, seed int64) (res CaseResult) {
+	res = CaseResult{Case: c}
+	var armSnaps []obs.Snapshot
 
-	runArm := func(attacked bool, armSeed int64) (bool, string, int, error) {
+	runArm := func(attacked bool, armSeed int64) (consequence bool, detail string, alarms int, err error) {
 		tb, err := NewTestbed(TestbedConfig{
 			Seed:        armSeed,
 			Devices:     c.Devices,
@@ -143,6 +149,7 @@ func runCase(c Case, seed int64) CaseResult {
 		if err != nil {
 			return false, "", 0, err
 		}
+		defer func() { armSnaps = append(armSnaps, tb.Metrics.Snapshot()) }()
 		cr := &CaseRun{TB: tb, Attacked: attacked, hijackers: make(map[string]*core.Hijacker)}
 		if attacked {
 			cr.Trace = c.Trace
@@ -179,11 +186,12 @@ func runCase(c Case, seed int64) CaseResult {
 		if err := c.Scenario(cr); err != nil {
 			return false, "", 0, err
 		}
-		consequence, detail := c.Judge(cr)
+		consequence, detail = c.Judge(cr)
 		return consequence, detail, tb.TotalAlarmCount() - alarmsBefore, nil
 	}
 
 	var err error
+	defer func() { res.Metrics = obs.Merge(armSnaps...) }()
 	res.BaselineConsequence, res.BaselineDetail, _, err = runArm(false, seed)
 	if err != nil {
 		res.Err = fmt.Errorf("baseline: %w", err)

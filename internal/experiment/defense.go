@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/defense"
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/rules"
 )
 
@@ -22,6 +23,10 @@ type AckDefenseResult struct {
 	TrafficPerHour  int64 // measured on the WiFi segment during idle
 	EstimatePerHour int64 // the analytical estimate for comparison
 	Err             error
+
+	// Metrics merges the snapshots of the clean (traffic-cost) and
+	// attacked testbeds for this point.
+	Metrics obs.Snapshot
 }
 
 // RunAckTimeoutDefense deploys hardened variants of a device and measures
@@ -48,8 +53,10 @@ func RunAckTimeoutDefense(label string, timeouts []time.Duration, seed int64) []
 	return out
 }
 
-func ackPoint(label string, profile device.Profile, ackTimeout time.Duration, seed int64) AckDefenseResult {
-	res := AckDefenseResult{Label: label, AckTimeout: ackTimeout}
+func ackPoint(label string, profile device.Profile, ackTimeout time.Duration, seed int64) (res AckDefenseResult) {
+	res = AckDefenseResult{Label: label, AckTimeout: ackTimeout}
+	var snaps []obs.Snapshot
+	defer func() { res.Metrics = obs.Merge(snaps...) }()
 
 	// Traffic cost is a property of the defense itself: measure it in a
 	// clean home without the attacker, whose relaying would double every
@@ -63,6 +70,7 @@ func ackPoint(label string, profile device.Profile, ackTimeout time.Duration, se
 		res.Err = err
 		return res
 	}
+	defer func() { snaps = append(snaps, clean.Metrics.Snapshot()) }()
 	clean.Start()
 	meter := defense.NewTrafficMeter(func() uint64 { return clean.LAN.Stats().BytesSent })
 	clean.Clock.RunFor(time.Hour)
@@ -78,6 +86,7 @@ func ackPoint(label string, profile device.Profile, ackTimeout time.Duration, se
 		res.Err = err
 		return res
 	}
+	defer func() { snaps = append(snaps, tb.Metrics.Snapshot()) }()
 	atk, err := tb.NewAttacker()
 	if err != nil {
 		res.Err = err
@@ -140,14 +149,19 @@ type TimestampDefenseResult struct {
 	// alarm on arrival — detection, but after the door was already open.
 	DetectedAfterTheFact bool
 	Err                  error
+
+	// Metrics merges the snapshots of both evaluation arms' testbeds.
+	Metrics obs.Snapshot
 }
 
 // RunTimestampDefense evaluates countermeasure VII-B.
-func RunTimestampDefense(seed int64) TimestampDefenseResult {
-	var res TimestampDefenseResult
+func RunTimestampDefense(seed int64) (res TimestampDefenseResult) {
+	var snaps []obs.Snapshot
+	defer func() { res.Metrics = obs.Merge(snaps...) }()
 
 	// Part 1: delayed-trigger spurious execution is blocked.
-	blocked, detail, err := timestampTriggerArm(seed)
+	blocked, detail, snap1, err := timestampTriggerArm(seed)
+	snaps = append(snaps, snap1)
 	if err != nil {
 		res.Err = err
 		return res
@@ -156,7 +170,8 @@ func RunTimestampDefense(seed int64) TimestampDefenseResult {
 	res.TriggerDetail = detail
 
 	// Part 2: the Case 8 condition-delay attack still succeeds.
-	works, detected, detail2, err := timestampConditionArm(seed + 1)
+	works, detected, detail2, snap2, err := timestampConditionArm(seed + 1)
+	snaps = append(snaps, snap2)
 	if err != nil {
 		res.Err = err
 		return res
@@ -175,67 +190,69 @@ var timestampPolicy = cloud.IntegrationConfig{
 // timestampTriggerArm: rule "when door opens, notify". The attacker delays
 // the trigger event 30s; with timestamp checking the stale trigger is
 // rejected and the rule never fires on it.
-func timestampTriggerArm(seed int64) (bool, string, error) {
+func timestampTriggerArm(seed int64) (blocked bool, detail string, snap obs.Snapshot, err error) {
 	tb, err := NewTestbed(TestbedConfig{
 		Seed:        seed,
 		Devices:     []string{"C2"},
 		Integration: timestampPolicy,
 	})
 	if err != nil {
-		return false, "", err
+		return false, "", snap, err
 	}
+	defer func() { snap = tb.Metrics.Snapshot() }()
 	atk, err := tb.NewAttacker()
 	if err != nil {
-		return false, "", err
+		return false, "", snap, err
 	}
 	h, err := tb.Hijack(atk, "C2")
 	if err != nil {
-		return false, "", err
+		return false, "", snap, err
 	}
 	if err := tb.Integration.AddRule(rules.Rule{
 		Name:    "alert-on-open",
 		Trigger: rules.Trigger{Device: "C2", Attribute: "contact", Value: "open"},
 		Actions: []rules.Action{{Kind: rules.ActionNotify, Message: "door opened"}},
 	}); err != nil {
-		return false, "", err
+		return false, "", snap, err
 	}
 	tb.Start()
 	h.EDelay("C2", 30*time.Second)
 	if err := tb.Device("C2").TriggerEvent("contact", "open"); err != nil {
-		return false, "", err
+		return false, "", snap, err
 	}
 	tb.Clock.RunFor(2 * time.Minute)
 
 	fired := len(tb.Integration.Notifications()) > 0
 	discarded := len(tb.Integration.Discarded()) > 0
 	alarms := tb.Integration.Alarms()
-	blocked := !fired && discarded && len(alarms) > 0
-	return blocked, fmt.Sprintf("rule fired=%v, stale trigger rejected=%v, alarms=%d", fired, discarded, len(alarms)), nil
+	blocked = !fired && discarded && len(alarms) > 0
+	return blocked, fmt.Sprintf("rule fired=%v, stale trigger rejected=%v, alarms=%d", fired, discarded, len(alarms)), snap, nil
 }
 
 // timestampConditionArm: the Case 8 shape under timestamp checking. The
 // held presence event is stale when it finally lands (alarm), but the
 // unlock already happened at trigger time with a perfectly fresh trigger.
-func timestampConditionArm(seed int64) (worked, detected bool, detail string, err error) {
+func timestampConditionArm(seed int64) (worked, detected bool, detail string, snap obs.Snapshot, err error) {
 	tb, err := NewTestbed(TestbedConfig{
 		Seed:        seed,
 		Devices:     []string{"C5", "P1", "LK1"},
 		Integration: timestampPolicy,
 	})
 	if err != nil {
-		return false, false, "", err
+		return false, false, "", snap, err
 	}
+	defer func() { snap = tb.Metrics.Snapshot() }()
 	atk, err := tb.NewAttacker()
 	if err != nil {
-		return false, false, "", err
+		return false, false, "", snap, err
 	}
 	hPresence, err := tb.Hijack(atk, "P1")
 	if err != nil {
-		return false, false, "", err
+		return false, false, "", snap, err
 	}
 	hStorm, err := tb.Hijack(atk, "C5")
 	if err != nil {
-		return false, false, "", err
+		return false, false, "", snap, err
 	}
 	if err := tb.Integration.AddRule(rules.Rule{
 		Name:      "unlock-when-home",
@@ -243,7 +260,7 @@ func timestampConditionArm(seed int64) (worked, detected bool, detail string, er
 		Condition: rules.Eq{Device: "P1", Attribute: "presence", Value: "present"},
 		Actions:   []rules.Action{{Kind: rules.ActionCommand, Device: "LK1", Attribute: "lock", Value: "unlocked"}},
 	}); err != nil {
-		return false, false, "", err
+		return false, false, "", snap, err
 	}
 	tb.Start()
 	_ = tb.Device("P1").TriggerEvent("presence", "present")
@@ -252,18 +269,18 @@ func timestampConditionArm(seed int64) (worked, detected bool, detail string, er
 
 	core.SpuriousExecution(hPresence, "P1", hStorm, "C5", 5*time.Second)
 	if err := tb.Device("P1").TriggerEvent("presence", "away"); err != nil {
-		return false, false, "", err
+		return false, false, "", snap, err
 	}
 	tb.Clock.RunFor(10 * time.Second)
 	if err := tb.Device("C5").TriggerEvent("contact", "open"); err != nil {
-		return false, false, "", err
+		return false, false, "", snap, err
 	}
 	tb.Clock.RunFor(time.Minute)
 
 	worked = tb.Device("LK1").State("lock") == "unlocked"
 	detected = tb.Integration.TotalAlarmCount() > 0
 	detail = fmt.Sprintf("door unlocked=%v, stale condition event alarmed afterwards=%v", worked, detected)
-	return worked, detected, detail, nil
+	return worked, detected, detail, snap, nil
 }
 
 // FormatDefenseResults renders the defense evaluations.

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sniff"
 )
 
@@ -16,6 +17,9 @@ type FindingResult struct {
 	Holds  bool
 	Detail string
 	Err    error
+
+	// Metrics is the finding testbed's observability snapshot.
+	Metrics obs.Snapshot
 }
 
 // RunFindings reproduces Findings 1–3.
@@ -31,13 +35,14 @@ func RunFindings(seed int64) []FindingResult {
 // during an event delay is never noticed by the cloud server, because from
 // its view the session was simply slow; even the device reports no anomaly
 // afterwards.
-func runFinding1(seed int64) FindingResult {
-	res := FindingResult{ID: 1, Title: "On-demand sessions hide timeouts from the server"}
+func runFinding1(seed int64) (res FindingResult) {
+	res = FindingResult{ID: 1, Title: "On-demand sessions hide timeouts from the server"}
 	tb, err := NewTestbed(TestbedConfig{Seed: seed, Devices: []string{"M7"}})
 	if err != nil {
 		res.Err = err
 		return res
 	}
+	defer func() { res.Metrics = tb.Metrics.Snapshot() }()
 	atk, err := tb.NewAttacker()
 	if err != nil {
 		res.Err = err
@@ -73,13 +78,14 @@ func runFinding1(seed int64) FindingResult {
 // forced device-side timeout the attacker keeps the server-side connection
 // open; the device reconnects; the server carries both sessions and never
 // raises an alarm — even when the stale one finally dies.
-func runFinding2(seed int64) FindingResult {
-	res := FindingResult{ID: 2, Title: "Half-open connections postpone device-offline alarms"}
+func runFinding2(seed int64) (res FindingResult) {
+	res = FindingResult{ID: 2, Title: "Half-open connections postpone device-offline alarms"}
 	tb, err := NewTestbed(TestbedConfig{Seed: seed, Devices: []string{"C1"}})
 	if err != nil {
 		res.Err = err
 		return res
 	}
+	defer func() { res.Metrics = tb.Metrics.Snapshot() }()
 	atk, err := tb.NewAttacker()
 	if err != nil {
 		res.Err = err
@@ -126,13 +132,14 @@ func runFinding2(seed int64) FindingResult {
 // device-initiated; the server never probes, so an attacker silently
 // blackholing the device's outbound messages leaves the server believing
 // the device is merely idle, indefinitely.
-func runFinding3(seed int64) FindingResult {
-	res := FindingResult{ID: 3, Title: "Unidirectional liveness checking: servers never probe"}
+func runFinding3(seed int64) (res FindingResult) {
+	res = FindingResult{ID: 3, Title: "Unidirectional liveness checking: servers never probe"}
 	tb, err := NewTestbed(TestbedConfig{Seed: seed, Devices: []string{"C1"}})
 	if err != nil {
 		res.Err = err
 		return res
 	}
+	defer func() { res.Metrics = tb.Metrics.Snapshot() }()
 	atk, err := tb.NewAttacker()
 	if err != nil {
 		res.Err = err

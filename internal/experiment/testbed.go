@@ -68,6 +68,10 @@ type Testbed struct {
 	rng      *simtime.Rand
 	nextHost int
 	nextWAN  int
+	// ordered lists every deployed label (hubs before their children) in
+	// deployment order — the fixed iteration order that keeps construction
+	// and startup deterministic.
+	ordered []string
 }
 
 // GatewayAddr is the home router's LAN address.
@@ -123,21 +127,32 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 
 	tb.Integration = cloud.NewIntegrationServer(clk, cfg.Integration)
 
-	// Resolve the full device set (pull in hubs for via-hub devices).
-	labels := map[string]bool{}
+	// Resolve the full device set (pull in hubs for via-hub devices) in
+	// deployment order. The order is part of the simulation's determinism
+	// contract: it fixes address and seed assignment and session start
+	// order, so identical configs replay identically.
+	seen := map[string]bool{}
+	var labels []string
+	add := func(l string) {
+		if !seen[l] {
+			seen[l] = true
+			labels = append(labels, l)
+		}
+	}
 	for _, l := range cfg.Devices {
 		p, ok := tb.byLabel[l]
 		if !ok {
 			return nil, fmt.Errorf("experiment: unknown device label %q", l)
 		}
-		labels[l] = true
 		if p.Transport == device.TransportViaHub {
-			labels[p.ViaHub] = true
+			add(p.ViaHub)
 		}
+		add(l)
 	}
+	tb.ordered = labels
 
 	// Create endpoint servers and the local hub as needed.
-	for l := range labels {
+	for _, l := range labels {
 		p := tb.byLabel[l]
 		if p.Transport == device.TransportViaHub {
 			continue
@@ -156,7 +171,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	}
 
 	// Create session-owning devices first, then children.
-	for l := range labels {
+	for _, l := range labels {
 		p := tb.byLabel[l]
 		if p.Transport == device.TransportViaHub {
 			continue
@@ -165,7 +180,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 			return nil, err
 		}
 	}
-	for l := range labels {
+	for _, l := range labels {
 		p := tb.byLabel[l]
 		if p.Transport != device.TransportViaHub {
 			continue
@@ -273,9 +288,11 @@ func (tb *Testbed) registerAtServer(p device.Profile, owner string) {
 }
 
 // Start connects every device and runs the clock until sessions settle.
+// Devices start in deployment order so session establishment replays
+// identically across runs.
 func (tb *Testbed) Start() {
-	for _, d := range tb.Devices {
-		d.Start()
+	for _, l := range tb.ordered {
+		tb.Devices[l].Start()
 	}
 	tb.Clock.RunFor(2 * time.Second)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -20,6 +21,10 @@ type VerifyResult struct {
 	TimeoutsAvoided int
 	Accepted        int
 	Err             error
+
+	// Metrics is the device testbed's observability snapshot, taken after
+	// the trials finished (or failed).
+	Metrics obs.Snapshot
 }
 
 // Perfect reports the paper's outcome: 100% avoidance and acceptance.
@@ -52,13 +57,14 @@ func RunVerification(labels []string, opts VerifyOptions) []VerifyResult {
 	return out
 }
 
-func verifyDevice(label string, opts VerifyOptions, seed int64) VerifyResult {
-	res := VerifyResult{Label: label, Trials: opts.Trials}
+func verifyDevice(label string, opts VerifyOptions, seed int64) (res VerifyResult) {
+	res = VerifyResult{Label: label, Trials: opts.Trials}
 	tb, err := NewTestbed(TestbedConfig{Seed: seed, Devices: []string{label}})
 	if err != nil {
 		res.Err = err
 		return res
 	}
+	defer func() { res.Metrics = tb.Metrics.Snapshot() }()
 	atk, err := tb.NewAttacker()
 	if err != nil {
 		res.Err = err

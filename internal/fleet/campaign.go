@@ -1,0 +1,220 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/obs"
+)
+
+// DefaultShardSize is the number of homes per checkpointable work unit.
+const DefaultShardSize = 64
+
+// Campaign binds a spec to a population and an execution budget.
+type Campaign struct {
+	// Spec is the attack procedure to run in every home.
+	Spec Spec
+	// Homes is the population size.
+	Homes int
+	// Workers is the worker-pool size. Workers only changes wall-clock
+	// time: results are byte-identical for any value. Default 1.
+	Workers int
+	// ShardSize is the number of homes per shard — the unit of
+	// checkpointing and of work distribution. It is part of the campaign
+	// identity: resuming requires the same value. Default DefaultShardSize.
+	ShardSize int
+	// Seed is the population master seed.
+	Seed int64
+	// CheckpointPath, when non-empty, persists completed shards as JSON so
+	// an interrupted campaign resumes instead of restarting.
+	CheckpointPath string
+	// Template drives device-mix sampling; zero value selects the default.
+	Template device.PopulationTemplate
+	// Progress, when set, is called after every completed shard with the
+	// number of completed shards (including resumed ones) and the total.
+	Progress func(done, total int)
+}
+
+// ShardResult is the deterministic outcome of one shard: a pure function
+// of (campaign identity, shard index), independent of worker count and of
+// which other shards have run.
+type ShardResult struct {
+	Index         int          `json:"index"`
+	FirstHome     int          `json:"firstHome"`
+	Homes         int          `json:"homes"`
+	HomesNoTarget int          `json:"homesNoTarget"`
+	HomesFailed   int          `json:"homesFailed"`
+	Errors        []string     `json:"errors,omitempty"`
+	Alarms        int          `json:"alarms"`
+	Tallies       []ModelTally `json:"tallies"`
+	Metrics       obs.Snapshot `json:"metrics"`
+}
+
+// maxShardErrors bounds how many home errors a shard records verbatim.
+const maxShardErrors = 3
+
+func (c Campaign) withDefaults() Campaign {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.ShardSize <= 0 {
+		c.ShardSize = DefaultShardSize
+	}
+	return c
+}
+
+func (c Campaign) shardCount() int {
+	return (c.Homes + c.ShardSize - 1) / c.ShardSize
+}
+
+// Run executes the campaign: shards not present in the checkpoint are
+// distributed over the worker pool, each worker building one home's
+// testbed at a time (memory stays bounded by Workers, not Homes), and the
+// shard results are aggregated in shard order into a worker-count-
+// independent Result.
+func (c Campaign) Run() (Result, error) {
+	c = c.withDefaults()
+	c.Spec.fill()
+	if err := c.Spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	if c.Homes <= 0 {
+		return Result{}, fmt.Errorf("fleet: campaign needs a positive number of homes, got %d", c.Homes)
+	}
+
+	total := c.shardCount()
+	done := make(map[int]ShardResult, total)
+
+	var ck *checkpointer
+	if c.CheckpointPath != "" {
+		ck = newCheckpointer(c.CheckpointPath, c.identity())
+		resumed, err := ck.load()
+		if err != nil {
+			return Result{}, err
+		}
+		for _, s := range resumed {
+			if s.Index >= 0 && s.Index < total {
+				done[s.Index] = s
+			}
+		}
+	}
+	report := func() {
+		if c.Progress != nil {
+			c.Progress(len(done), total)
+		}
+	}
+	report()
+
+	var pending []int
+	for i := 0; i < total; i++ {
+		if _, ok := done[i]; !ok {
+			pending = append(pending, i)
+		}
+	}
+
+	if len(pending) > 0 {
+		jobs := make(chan int)
+		results := make(chan ShardResult)
+		var wg sync.WaitGroup
+		workers := c.Workers
+		if workers > len(pending) {
+			workers = len(pending)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range jobs {
+					results <- c.runShard(idx)
+				}
+			}()
+		}
+		go func() {
+			for _, idx := range pending {
+				jobs <- idx
+			}
+			close(jobs)
+			wg.Wait()
+			close(results)
+		}()
+		// Single collector: completion order varies with the worker pool,
+		// but nothing order-sensitive happens here — results land in a map
+		// and checkpoints store shards sorted by index.
+		for s := range results {
+			done[s.Index] = s
+			if ck != nil {
+				if err := ck.save(sortedShards(done)); err != nil {
+					return Result{}, err
+				}
+			}
+			report()
+		}
+	}
+
+	return c.aggregate(sortedShards(done)), nil
+}
+
+// runShard generates and runs the shard's homes sequentially. Everything
+// inside a shard happens in home order, so the shard result is
+// deterministic no matter which worker executes it.
+func (c Campaign) runShard(idx int) ShardResult {
+	first := idx * c.ShardSize
+	n := c.ShardSize
+	if first+n > c.Homes {
+		n = c.Homes - first
+	}
+	sr := ShardResult{Index: idx, FirstHome: first, Homes: n}
+	pc := PopulationConfig{
+		Seed:         c.Seed,
+		Template:     c.Template,
+		TimingJitter: c.Spec.TimingJitter,
+		RulesPerHome: c.Spec.RulesPerHome,
+	}
+	tallies := make(map[string]*ModelTally)
+	snaps := make([]obs.Snapshot, 0, n)
+	for i := 0; i < n; i++ {
+		hr := runHome(c.Spec, GenerateHome(pc, first+i))
+		if hr.err != nil {
+			sr.HomesFailed++
+			if len(sr.Errors) < maxShardErrors {
+				sr.Errors = append(sr.Errors, hr.err.Error())
+			}
+		}
+		if hr.noTarget {
+			sr.HomesNoTarget++
+		}
+		for model, t := range hr.tallies {
+			agg, ok := tallies[model]
+			if !ok {
+				agg = &ModelTally{Model: model}
+				tallies[model] = agg
+			}
+			agg.add(*t)
+		}
+		sr.Alarms += hr.alarms
+		snaps = append(snaps, hr.snapshot)
+	}
+	sr.Tallies = sortTallies(tallies)
+	sr.Metrics = obs.Merge(snaps...)
+	return sr
+}
+
+func sortTallies(m map[string]*ModelTally) []ModelTally {
+	out := make([]ModelTally, 0, len(m))
+	for _, t := range m {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
+	return out
+}
+
+func sortedShards(m map[int]ShardResult) []ShardResult {
+	out := make([]ShardResult, 0, len(m))
+	for _, s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}

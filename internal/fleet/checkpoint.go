@@ -1,0 +1,126 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// checkpointVersion guards the on-disk shape; bump on incompatible change.
+const checkpointVersion = 1
+
+// identity is the part of a campaign that must match for a checkpoint to
+// be resumable: same spec, population and sharding → same shard results.
+type identity struct {
+	Spec      Spec   `json:"spec"`
+	Homes     int    `json:"homes"`
+	Seed      int64  `json:"seed"`
+	ShardSize int    `json:"shardSize"`
+	Template  string `json:"template"`
+}
+
+func (c Campaign) identity() identity {
+	return identity{
+		Spec:      c.Spec,
+		Homes:     c.Homes,
+		Seed:      c.Seed,
+		ShardSize: c.ShardSize,
+		Template:  c.Template.Name,
+	}
+}
+
+// fingerprint hashes the identity's canonical JSON.
+func (id identity) fingerprint() string {
+	b, err := json.Marshal(id)
+	if err != nil {
+		// identity contains only plain data; Marshal cannot fail.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// checkpointFile is the on-disk resume state: the campaign fingerprint
+// plus every completed shard, sorted by index.
+type checkpointFile struct {
+	Version     int           `json:"version"`
+	Fingerprint string        `json:"fingerprint"`
+	Identity    identity      `json:"identity"`
+	Shards      []ShardResult `json:"shards"`
+}
+
+// checkpointer persists completed shards for one campaign.
+type checkpointer struct {
+	path string
+	id   identity
+	fp   string
+}
+
+func newCheckpointer(path string, id identity) *checkpointer {
+	return &checkpointer{path: path, id: id, fp: id.fingerprint()}
+}
+
+// load reads the checkpoint, if any. A missing file is a fresh start; a
+// file from a different campaign (or a corrupt one) is an error so a stale
+// path never silently poisons the results.
+func (c *checkpointer) load() ([]ShardResult, error) {
+	data, err := os.ReadFile(c.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fleet: read checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("fleet: checkpoint %s is corrupt: %w", c.path, err)
+	}
+	if f.Version != checkpointVersion {
+		return nil, fmt.Errorf("fleet: checkpoint %s has version %d, want %d", c.path, f.Version, checkpointVersion)
+	}
+	if f.Fingerprint != c.fp {
+		return nil, fmt.Errorf("fleet: checkpoint %s belongs to a different campaign (spec/homes/seed/shard-size changed); delete it or pick another path", c.path)
+	}
+	return f.Shards, nil
+}
+
+// save atomically replaces the checkpoint with the given shards (already
+// sorted by index). Write-then-rename keeps a crash mid-save from ever
+// leaving a truncated checkpoint behind.
+func (c *checkpointer) save(shards []ShardResult) error {
+	f := checkpointFile{
+		Version:     checkpointVersion,
+		Fingerprint: c.fp,
+		Identity:    c.id,
+		Shards:      shards,
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("fleet: encode checkpoint: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(c.path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fleet: write checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fleet: write checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fleet: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fleet: write checkpoint: %w", err)
+	}
+	return nil
+}

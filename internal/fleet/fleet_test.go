@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseSpecDefaults(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"attack":"edelay"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "edelay" || s.Trials != 1 || s.Targets.PerHome != 1 {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	if s.MarginSecs != 2 || s.HoldSecs != 60 || s.TimingJitter != 0.1 || s.RulesPerHome != 2 {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	if len(s.Targets.Classes) != 2 {
+		t.Fatalf("default target classes not applied: %+v", s.Targets)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"empty object", `{}`, "no attack family"},
+		{"unknown family", `{"attack":"ddos"}`, "unknown attack family"},
+		{"unknown field", `{"attack":"edelay","margin":2}`, "unknown field"},
+		{"trailing data", `{"attack":"edelay"}{"attack":"cdelay"}`, "trailing data"},
+		{"not json", `nope`, "parse campaign spec"},
+		{"wrong type", `[]`, "parse campaign spec"},
+		{"negative trials", `{"attack":"edelay","trials":-1}`, "negative trials"},
+		{"negative margin", `{"attack":"edelay","marginSecs":-5}`, "negative marginSecs"},
+		{"jitter too big", `{"attack":"edelay","timingJitter":0.9}`, "timingJitter"},
+		{"absurd hold", `{"attack":"offline","holdSecs":1e9}`, "beyond one week"},
+		{"absurd trials", `{"attack":"edelay","trials":5000}`, "sanity bound"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(c.data))
+			if err == nil {
+				t.Fatalf("accepted %q", c.data)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestGenerateHomeDeterministic(t *testing.T) {
+	cfg := PopulationConfig{Seed: 42, TimingJitter: 0.2, RulesPerHome: 3}
+	for idx := 0; idx < 20; idx++ {
+		a := GenerateHome(cfg, idx)
+		b := GenerateHome(cfg, idx)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("home %d not deterministic", idx)
+		}
+	}
+	// Neighbouring homes must not share the same stream.
+	a, b := GenerateHome(cfg, 0), GenerateHome(cfg, 1)
+	if a.Seed == b.Seed {
+		t.Fatalf("homes 0 and 1 share seed %d", a.Seed)
+	}
+}
+
+func TestCampaignRejectsBadConfig(t *testing.T) {
+	if _, err := (Campaign{Spec: DefaultSpec()}).Run(); err == nil {
+		t.Fatal("zero homes accepted")
+	}
+	bad := DefaultSpec()
+	bad.Attack = "nope"
+	if _, err := (Campaign{Spec: bad, Homes: 1}).Run(); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestCheckpointGuards(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	c := Campaign{Spec: DefaultSpec(), Homes: 4, ShardSize: 2, Seed: 1, CheckpointPath: path}.withDefaults()
+	c.Spec.fill()
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Same campaign resumes cleanly (everything cached, nothing re-runs).
+	if _, err := c.Run(); err != nil {
+		t.Fatalf("resume of identical campaign: %v", err)
+	}
+	// A different campaign must refuse the stale checkpoint.
+	other := c
+	other.Seed = 2
+	if _, err := other.Run(); err == nil || !strings.Contains(err.Error(), "different campaign") {
+		t.Fatalf("stale checkpoint not rejected: %v", err)
+	}
+}

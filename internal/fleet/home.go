@@ -1,0 +1,280 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/experiment"
+	"repro/internal/obs"
+)
+
+// ModelTally accumulates campaign outcomes for one device model.
+type ModelTally struct {
+	Model        string  `json:"model"`
+	Trials       int     `json:"trials"`
+	Successes    int     `json:"successes"`
+	DelaySumSecs float64 `json:"delaySumSecs"`
+	MaxDelaySecs float64 `json:"maxDelaySecs"`
+}
+
+func (t *ModelTally) add(o ModelTally) {
+	t.Trials += o.Trials
+	t.Successes += o.Successes
+	t.DelaySumSecs += o.DelaySumSecs
+	if o.MaxDelaySecs > t.MaxDelaySecs {
+		t.MaxDelaySecs = o.MaxDelaySecs
+	}
+}
+
+// homeResult is the compact outcome of one home: per-model tallies plus
+// the testbed's metrics snapshot. The testbed itself is discarded — this
+// is what keeps a million-home campaign within bounded memory.
+type homeResult struct {
+	index    int
+	err      error
+	noTarget bool
+	alarms   int
+	tallies  map[string]*ModelTally
+	snapshot obs.Snapshot
+}
+
+// runHome builds the home's testbed on demand, runs the campaign's attack
+// against its targets and returns the compact result. The home simulation
+// is single-threaded and owns all its state, so many runHome calls can
+// proceed concurrently on independent homes.
+func runHome(spec Spec, home HomeSpec) (res homeResult) {
+	res = homeResult{index: home.Index, tallies: make(map[string]*ModelTally)}
+
+	targets := selectTargets(spec, home)
+	if len(targets) == 0 {
+		res.noTarget = true
+		return res
+	}
+
+	tb, err := experiment.NewTestbed(experiment.TestbedConfig{
+		Seed:       home.Seed,
+		Devices:    home.Devices,
+		LANLatency: home.LANLatency,
+		WANLatency: home.WANLatency,
+		Jitter:     home.LinkJitter,
+		Overrides:  home.Overrides,
+	})
+	if err != nil {
+		res.err = err
+		return res
+	}
+	// Per-home traces would dominate the merged snapshot and their
+	// concatenation order is not worker-count independent; campaigns run
+	// traceless.
+	tb.Metrics.SetTraceCapacity(0)
+	defer func() {
+		res.alarms = tb.TotalAlarmCount()
+		tb.Metrics.Counter("fleet_alarms_total").Add(uint64(res.alarms))
+		res.snapshot = tb.Metrics.Snapshot()
+	}()
+
+	for _, r := range home.Rules {
+		if err := tb.InstallRule(r); err != nil {
+			res.err = err
+			return res
+		}
+	}
+	atk, err := tb.NewAttacker()
+	if err != nil {
+		res.err = err
+		return res
+	}
+	// One hijack per session owner, shared by targets riding the same hub.
+	hijackers := make(map[string]*core.Hijacker)
+	for _, label := range targets {
+		owner := tb.SessionOwnerProfile(label).Label
+		if _, ok := hijackers[owner]; ok {
+			continue
+		}
+		h, err := tb.Hijack(atk, label)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		hijackers[owner] = h
+	}
+	tb.Start()
+
+	for _, label := range targets {
+		h := hijackers[tb.SessionOwnerProfile(label).Label]
+		if err := attackTarget(tb, h, spec, label, res.tallies); err != nil {
+			res.err = fmt.Errorf("home %d target %s: %w", home.Index, label, err)
+			return res
+		}
+	}
+	return res
+}
+
+// selectTargets picks the campaign's targets in deployment order.
+func selectTargets(spec Spec, home HomeSpec) []string {
+	byLabel := device.ByLabel()
+	var out []string
+	for _, l := range home.Devices {
+		p := byLabel[l]
+		if !spec.Targets.matches(p.Label, p.Class) {
+			continue
+		}
+		if spec.Attack == AttackCDelay && p.CommandAttr == "" {
+			continue
+		}
+		if p.EventAttr == "" || len(p.EventValues) == 0 {
+			continue
+		}
+		out = append(out, l)
+		if len(out) >= spec.Targets.PerHome {
+			break
+		}
+	}
+	return out
+}
+
+// attackTarget runs the spec's trials against one device, recording
+// outcomes into tallies and the testbed's metrics registry.
+func attackTarget(tb *experiment.Testbed, h *core.Hijacker, spec Spec, label string, tallies map[string]*ModelTally) error {
+	owner := tb.SessionOwnerProfile(label)
+	m := experiment.MeasuredFromProfile(owner)
+	h.ArmPredictor(m)
+	lab, err := tb.NewLab(h, label)
+	if err != nil {
+		return err
+	}
+	tally, ok := tallies[label]
+	if !ok {
+		tally = &ModelTally{Model: label}
+		tallies[label] = tally
+	}
+	reg := tb.Metrics
+	delayHist := reg.Histogram("fleet_delay_seconds", obs.DurationBuckets, obs.L("model", label))
+	trialCtr := reg.Counter("fleet_trials_total", obs.L("model", label))
+	successCtr := reg.Counter("fleet_trials_success", obs.L("model", label))
+
+	for trial := 0; trial < spec.Trials; trial++ {
+		var achieved time.Duration
+		var success bool
+		var err error
+		switch spec.Attack {
+		case AttackOffline:
+			achieved, success, err = offlineTrial(tb, h, spec)
+		default:
+			achieved, success, err = delayTrial(tb, h, lab, spec, m, label)
+		}
+		if err != nil {
+			return err
+		}
+		tally.Trials++
+		trialCtr.Inc()
+		if success {
+			tally.Successes++
+			successCtr.Inc()
+		}
+		secs := achieved.Seconds()
+		tally.DelaySumSecs += secs
+		if secs > tally.MaxDelaySecs {
+			tally.MaxDelaySecs = secs
+		}
+		delayHist.Observe(secs)
+		// Inter-trial recovery lets sessions and keep-alive schedules
+		// settle before the next hold.
+		tb.Clock.RunFor(10 * time.Second)
+	}
+	return nil
+}
+
+// delayTrial runs one maximum-stealthy delay: hold the target's next
+// event (or command) to the margin before the predicted timeout, release,
+// and check delivery plus stealth.
+func delayTrial(tb *experiment.Testbed, h *core.Hijacker, lab *core.Lab, spec Spec, m core.Measured, label string) (time.Duration, bool, error) {
+	var bounded bool
+	var op *core.DelayOp
+	var trigger func() error
+	origin := lab.EventOrigin
+	if spec.Attack == AttackCDelay {
+		if lab.TriggerCommand == nil {
+			return 0, false, fmt.Errorf("fleet: %s takes no commands", label)
+		}
+		origin = lab.CommandOrigin
+		trigger = lab.TriggerCommand
+		_, _, bounded = m.CommandWindow()
+		if bounded {
+			op = h.MaxCDelay(origin, spec.Margin())
+		} else {
+			op = h.CDelay(origin, spec.Hold())
+		}
+	} else {
+		trigger = lab.TriggerEvent
+		_, _, bounded = m.EventWindow()
+		if bounded {
+			op = h.MaxEDelay(origin, spec.Margin())
+		} else {
+			op = h.EDelay(origin, spec.Hold())
+		}
+	}
+
+	var achieved time.Duration
+	released := false
+	op.OnReleased = func(d time.Duration) { achieved, released = d, true }
+
+	alarmsBefore := tb.TotalAlarmCount()
+	acceptedBefore := tb.AcceptedEventCount(origin)
+	if err := trigger(); err != nil {
+		return 0, false, err
+	}
+	// Drive the simulation until the hold releases; the deadline guards
+	// against an op that never matches (e.g. a lost trigger).
+	deadline := tb.Clock.Now() + simTimeBound(spec, m)
+	for !released && tb.Clock.Now() < deadline {
+		if next, ok := tb.Clock.NextEventAt(); !ok || next > deadline {
+			tb.Clock.RunUntil(deadline)
+			break
+		}
+		tb.Clock.Step()
+	}
+	tb.Clock.RunFor(5 * time.Second)
+	if !released {
+		return 0, false, fmt.Errorf("fleet: delay never released")
+	}
+	success := tb.TotalAlarmCount() == alarmsBefore
+	if spec.Attack == AttackEDelay && tb.AcceptedEventCount(origin) <= acceptedBefore {
+		success = false
+	}
+	return achieved, success, nil
+}
+
+// simTimeBound bounds one trial's simulated time: the widest possible
+// window plus slack.
+func simTimeBound(spec Spec, m core.Measured) time.Duration {
+	bound := spec.Hold()
+	if _, max, ok := m.EventWindow(); ok && max > bound {
+		bound = max
+	}
+	if _, max, ok := m.CommandWindow(); ok && max > bound {
+		bound = max
+	}
+	return bound + 10*time.Minute
+}
+
+// offlineTrial blackholes the session's device-to-server direction for the
+// spec's hold, keeping the server-side connection open (Finding 2), and
+// reports whether the servers stayed silent.
+func offlineTrial(tb *experiment.Testbed, h *core.Hijacker, spec Spec) (time.Duration, bool, error) {
+	b, ok := h.CurrentBridge()
+	if !ok {
+		return 0, false, fmt.Errorf("fleet: no live bridge for offline hold")
+	}
+	b.HoldDeviceClose = true
+	op := h.DelayKeepAlive(0)
+	alarmsBefore := tb.TotalAlarmCount()
+	tb.Clock.RunFor(spec.Hold())
+	success := tb.TotalAlarmCount() == alarmsBefore
+	op.Release()
+	b.HoldDeviceClose = false
+	tb.Clock.RunFor(10 * time.Second)
+	return spec.Hold(), success, nil
+}

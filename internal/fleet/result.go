@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// ModelSummary is one device model's aggregated campaign outcome.
+type ModelSummary struct {
+	Model       string  `json:"model"`
+	Trials      int     `json:"trials"`
+	Successes   int     `json:"successes"`
+	SuccessRate float64 `json:"successRate"`
+	// MeanDelaySecs and MaxDelaySecs summarise the achieved phantom delay
+	// across all trials against this model.
+	MeanDelaySecs float64 `json:"meanDelaySecs"`
+	MaxDelaySecs  float64 `json:"maxDelaySecs"`
+}
+
+// Result is a campaign's aggregated outcome. It is a pure function of the
+// campaign identity: any worker count, and any interrupt/resume split,
+// produces byte-identical JSON.
+type Result struct {
+	Campaign  string `json:"campaign"`
+	Homes     int    `json:"homes"`
+	Seed      int64  `json:"seed"`
+	ShardSize int    `json:"shardSize"`
+	Spec      Spec   `json:"spec"`
+
+	// HomesAttacked counts homes with at least one matching target;
+	// HomesNoTarget counts homes the spec's target selector skipped
+	// entirely; HomesFailed counts homes whose run errored.
+	HomesAttacked int `json:"homesAttacked"`
+	HomesNoTarget int `json:"homesNoTarget"`
+	HomesFailed   int `json:"homesFailed"`
+
+	TotalTrials    int `json:"totalTrials"`
+	TotalSuccesses int `json:"totalSuccesses"`
+	// Alarms counts offline alarms raised across the whole population —
+	// the campaign's stealth bill.
+	Alarms int `json:"alarms"`
+
+	// Errors samples per-home failures (up to maxShardErrors per shard).
+	Errors []string `json:"errors,omitempty"`
+
+	// PerModel is sorted by model label.
+	PerModel []ModelSummary `json:"perModel"`
+
+	// Metrics merges every home testbed's observability snapshot in shard
+	// order: fleet_delay_seconds{model=...} histograms, trial counters,
+	// alarm counts, plus the simulators' own counters.
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// aggregate folds sorted shard results into the campaign result,
+// combining metrics via obs.Merge in shard-index order.
+func (c Campaign) aggregate(shards []ShardResult) Result {
+	res := Result{
+		Campaign:  c.Spec.Name,
+		Homes:     c.Homes,
+		Seed:      c.Seed,
+		ShardSize: c.ShardSize,
+		Spec:      c.Spec,
+	}
+	tallies := make(map[string]*ModelTally)
+	snaps := make([]obs.Snapshot, 0, len(shards))
+	for _, s := range shards {
+		res.HomesNoTarget += s.HomesNoTarget
+		res.HomesFailed += s.HomesFailed
+		res.HomesAttacked += s.Homes - s.HomesNoTarget - s.HomesFailed
+		res.Alarms += s.Alarms
+		res.Errors = append(res.Errors, s.Errors...)
+		for _, t := range s.Tallies {
+			agg, ok := tallies[t.Model]
+			if !ok {
+				agg = &ModelTally{Model: t.Model}
+				tallies[t.Model] = agg
+			}
+			agg.add(t)
+		}
+		snaps = append(snaps, s.Metrics)
+	}
+	for _, t := range sortTallies(tallies) {
+		s := ModelSummary{
+			Model:        t.Model,
+			Trials:       t.Trials,
+			Successes:    t.Successes,
+			MaxDelaySecs: t.MaxDelaySecs,
+		}
+		if t.Trials > 0 {
+			s.SuccessRate = float64(t.Successes) / float64(t.Trials)
+			s.MeanDelaySecs = t.DelaySumSecs / float64(t.Trials)
+		}
+		res.TotalTrials += t.Trials
+		res.TotalSuccesses += t.Successes
+		res.PerModel = append(res.PerModel, s)
+	}
+	res.Metrics = obs.Merge(snaps...)
+	return res
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,197 @@
+// Package fleet is the attack-campaign engine: it scales the paper's
+// one-testbed-at-a-time evaluation to synthetic populations of smart homes.
+// A population is generated deterministically from a seed (each home's
+// device mix, timing jitter, link latencies and automation rules are a pure
+// function of (seed, home index)), a campaign spec describes one attack
+// procedure, and a sharded worker pool executes it across every home with
+// bounded memory, checkpointed progress and worker-count-independent
+// aggregated results.
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Attack families a campaign can run.
+const (
+	// AttackEDelay holds each target's next event until the margin before
+	// the predicted session timeout (the paper's maximum stealthy e-Delay);
+	// unbounded targets are held for HoldSecs instead.
+	AttackEDelay = "edelay"
+	// AttackCDelay is the command-direction counterpart; targets without a
+	// commandable attribute are skipped.
+	AttackCDelay = "cdelay"
+	// AttackOffline blackholes the target session's keep-alives for
+	// HoldSecs while keeping the server-side connection open — the
+	// Finding 2/3 offline-masking attack. Success means the servers raised
+	// no offline alarm during the hold.
+	AttackOffline = "offline"
+)
+
+// TargetSpec selects which devices in each home the campaign attacks.
+// An empty spec matches the default sensor classes (contact and motion).
+type TargetSpec struct {
+	// Classes matches device catalog classes ("contact sensor", ...).
+	Classes []string `json:"classes,omitempty"`
+	// Labels matches explicit catalog labels; unioned with Classes.
+	Labels []string `json:"labels,omitempty"`
+	// PerHome bounds how many matching devices are attacked per home
+	// (first matches in deployment order). Default 1.
+	PerHome int `json:"perHome,omitempty"`
+}
+
+// Spec is a campaign: one attack procedure applied to every home of the
+// population. The zero value is not runnable; use DefaultSpec or ParseSpec
+// and Validate.
+type Spec struct {
+	// Name labels the campaign in results and checkpoints.
+	Name string `json:"name,omitempty"`
+	// Attack selects the family: edelay, cdelay or offline.
+	Attack string `json:"attack"`
+	// Targets selects the attacked devices per home.
+	Targets TargetSpec `json:"targets,omitempty"`
+	// MarginSecs is the release margin before the predicted timeout for
+	// the delay families. Default 2.
+	MarginSecs float64 `json:"marginSecs,omitempty"`
+	// Trials is the number of attack trials per target. Default 1.
+	Trials int `json:"trials,omitempty"`
+	// HoldSecs is the fixed hold for AttackOffline and for delay targets
+	// with no bounding timeout (the HomeKit "∞" rows). Default 60.
+	HoldSecs float64 `json:"holdSecs,omitempty"`
+	// TimingJitter is the per-home perturbation factor applied to every
+	// profile's timing parameters (clamped to [0, 0.5]). Default 0.1.
+	TimingJitter float64 `json:"timingJitter,omitempty"`
+	// RulesPerHome is the maximum number of synthetic TCA rules installed
+	// per home. Default 2.
+	RulesPerHome int `json:"rulesPerHome,omitempty"`
+}
+
+// DefaultSpec is the built-in campaign: one maximum-stealthy event delay
+// against the first contact or motion sensor of every home.
+func DefaultSpec() Spec {
+	return Spec{
+		Name:   "edelay-sensors",
+		Attack: AttackEDelay,
+		Targets: TargetSpec{
+			Classes: []string{"contact sensor", "motion sensor"},
+			PerHome: 1,
+		},
+		MarginSecs:   2,
+		Trials:       1,
+		HoldSecs:     60,
+		TimingJitter: 0.1,
+		RulesPerHome: 2,
+	}
+}
+
+// fill applies defaults to optional fields.
+func (s *Spec) fill() {
+	if s.Name == "" {
+		s.Name = s.Attack
+	}
+	if len(s.Targets.Classes) == 0 && len(s.Targets.Labels) == 0 {
+		s.Targets.Classes = []string{"contact sensor", "motion sensor"}
+	}
+	if s.Targets.PerHome == 0 {
+		s.Targets.PerHome = 1
+	}
+	if s.MarginSecs == 0 {
+		s.MarginSecs = 2
+	}
+	if s.Trials == 0 {
+		s.Trials = 1
+	}
+	if s.HoldSecs == 0 {
+		s.HoldSecs = 60
+	}
+	if s.TimingJitter == 0 {
+		s.TimingJitter = 0.1
+	}
+	if s.RulesPerHome == 0 {
+		s.RulesPerHome = 2
+	}
+}
+
+// Validate checks a (filled or raw) spec for semantic errors.
+func (s Spec) Validate() error {
+	switch s.Attack {
+	case AttackEDelay, AttackCDelay, AttackOffline:
+	case "":
+		return fmt.Errorf("fleet: spec has no attack family")
+	default:
+		return fmt.Errorf("fleet: unknown attack family %q", s.Attack)
+	}
+	if s.MarginSecs < 0 {
+		return fmt.Errorf("fleet: negative marginSecs %v", s.MarginSecs)
+	}
+	if s.HoldSecs < 0 {
+		return fmt.Errorf("fleet: negative holdSecs %v", s.HoldSecs)
+	}
+	if s.Trials < 0 {
+		return fmt.Errorf("fleet: negative trials %d", s.Trials)
+	}
+	if s.Targets.PerHome < 0 {
+		return fmt.Errorf("fleet: negative targets.perHome %d", s.Targets.PerHome)
+	}
+	if s.TimingJitter < 0 || s.TimingJitter > 0.5 {
+		return fmt.Errorf("fleet: timingJitter %v outside [0, 0.5]", s.TimingJitter)
+	}
+	if s.RulesPerHome < 0 {
+		return fmt.Errorf("fleet: negative rulesPerHome %d", s.RulesPerHome)
+	}
+	const maxSecs = 7 * 24 * 3600
+	if s.MarginSecs > maxSecs || s.HoldSecs > maxSecs {
+		return fmt.Errorf("fleet: margin/hold beyond one week of simulated time")
+	}
+	if s.Trials > 1000 {
+		return fmt.Errorf("fleet: trials %d beyond sanity bound 1000", s.Trials)
+	}
+	return nil
+}
+
+// Margin returns the release margin as a duration.
+func (s Spec) Margin() time.Duration { return time.Duration(s.MarginSecs * float64(time.Second)) }
+
+// Hold returns the fixed hold as a duration.
+func (s Spec) Hold() time.Duration { return time.Duration(s.HoldSecs * float64(time.Second)) }
+
+// ParseSpec decodes and validates a campaign spec. Unknown fields are
+// rejected so a typo'd knob fails loudly instead of silently running the
+// default. Defaults are applied to omitted optional fields; malformed
+// specs return an error, never a panic.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("fleet: parse campaign spec: %w", err)
+	}
+	// Trailing garbage after the spec object is a malformed file.
+	if dec.More() {
+		return Spec{}, fmt.Errorf("fleet: campaign spec has trailing data")
+	}
+	s.fill()
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// matchesTarget reports whether a device with the given label and class is
+// in the campaign's target set.
+func (t TargetSpec) matches(label, class string) bool {
+	for _, l := range t.Labels {
+		if l == label {
+			return true
+		}
+	}
+	for _, c := range t.Classes {
+		if c == class {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,30 @@
+package fleet
+
+import "testing"
+
+// FuzzParseSpec: arbitrary spec bytes must never panic, and every accepted
+// spec must be filled and valid.
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"attack":"edelay"}`))
+	f.Add([]byte(`{"name":"x","attack":"offline","holdSecs":300,"targets":{"labels":["C1"],"perHome":2}}`))
+	f.Add([]byte(`{"attack":"cdelay","marginSecs":0.5,"trials":3,"timingJitter":0.25}`))
+	f.Add([]byte(`{"attack":"edelay","unknown":1}`))
+	f.Add([]byte(`{"attack":"edelay"}{"attack":"cdelay"}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"attack":"edelay","trials":-1}`))
+	f.Add([]byte(`{"attack":"edelay","holdSecs":1e300}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted spec fails validation: %v (%q)", err, data)
+		}
+		if s.Attack == "" || s.Trials < 1 || s.Targets.PerHome < 1 {
+			t.Fatalf("accepted spec not filled: %+v (%q)", s, data)
+		}
+	})
+}

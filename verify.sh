@@ -5,8 +5,8 @@
 #   vet      — static checks
 #   test     — full test suite
 #   race     — the packages that spawn goroutines (the parallel table
-#              runner and the obs snapshot/merge boundary) under the
-#              race detector
+#              runner, the obs snapshot/merge boundary and the fleet
+#              worker pool) under the race detector
 set -eu
 cd "$(dirname "$0")"
 
@@ -17,5 +17,5 @@ go vet ./...
 echo "== go test"
 go test ./...
 echo "== go test -race (concurrency boundary)"
-go test -race ./internal/experiment/ ./internal/obs/
+go test -race ./internal/experiment/ ./internal/obs/ ./internal/fleet/
 echo "verify: OK"
