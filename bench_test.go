@@ -254,6 +254,69 @@ func BenchmarkObsInstrumentedHotPath(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceEmit measures the raw cost of one flight-recorder event on
+// a pre-sized ring — the per-event price every instrumented layer pays when
+// tracing is enabled.
+func BenchmarkTraceEmit(b *testing.B) {
+	tr := obs.NewTrace(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(time.Duration(i), "tcpsim", "rto_fired", "C1", int64(i))
+	}
+	if tr.Len() == 0 {
+		b.Fatal("trace recorded nothing")
+	}
+}
+
+// traceWorkload runs the Table I hot path for one device. TraceCap 0 keeps
+// the default flight recorder; -1 disables it, nil-ing every capture-time
+// handle (the zero-tax baseline).
+func traceWorkload(b *testing.B, traceCap int) {
+	b.Helper()
+	rows := experiment.RunTable([]string{"C1"}, experiment.TableOptions{
+		Seed: 77, Trials: 1, TraceCap: traceCap,
+	})
+	if rows[0].Err != nil {
+		b.Fatal(rows[0].Err)
+	}
+}
+
+// BenchmarkTraceHotPathOverhead asserts the flight recorder's tax on the
+// table measurement path: a run with the default trace ring must stay
+// within 5% of a trace-disabled run. As in BenchmarkObsInstrumentedHotPath,
+// trials interleave and the minimum of each side is compared, so machine
+// load drifts both sides equally.
+func BenchmarkTraceHotPathOverhead(b *testing.B) {
+	timeTable := func(traceCap int) time.Duration {
+		runtime.GC()
+		start := time.Now()
+		for i := 0; i < 4; i++ {
+			traceWorkload(b, traceCap)
+		}
+		return time.Since(start)
+	}
+	traceWorkload(b, -1) // warm-up
+	traceWorkload(b, 0)
+	var base, traced time.Duration
+	for trial := 0; trial < 12; trial++ {
+		if d := timeTable(-1); base == 0 || d < base {
+			base = d
+		}
+		if d := timeTable(0); traced == 0 || d < traced {
+			traced = d
+		}
+	}
+	overhead := float64(traced)/float64(base) - 1
+	b.ReportMetric(overhead*100, "overhead-%")
+	if overhead > 0.05 {
+		b.Fatalf("traced hot path %.1f%% over trace-disabled (%v vs %v), budget is 5%%",
+			overhead*100, traced, base)
+	}
+	for i := 0; i < b.N; i++ {
+		traceWorkload(b, 0)
+	}
+}
+
 // BenchmarkFleetCampaign runs the default campaign over a synthetic
 // population, reporting population throughput (homes/s) and campaign
 // outcome fractions. Parallelism comes from the fleet worker pool, not

@@ -12,11 +12,13 @@
 //
 // Flags:
 //
-//	-seed N      deterministic seed (default 1)
-//	-trials N    measurement trials per message class (default 3; paper: 20)
-//	-recovery D  inter-trial recovery (default 30s; paper: 2m)
-//	-metrics F   write the run's merged metrics snapshot to F
-//	             (table1, table2, table3, verify, findings, defense)
+//	-seed N            deterministic seed (default 1)
+//	-trials N          measurement trials per message class (default 3; paper: 20)
+//	-recovery D        inter-trial recovery (default 30s; paper: 2m)
+//	-metrics F         write the run's merged metrics snapshot to F
+//	-metrics-format X  metrics encoding: json (default) or openmetrics
+//	-trace F           write the run's attack flight-recorder timeline to F
+//	-trace-format X    trace encoding: chrome (default, Perfetto-loadable) or text
 package main
 
 import (
@@ -24,13 +26,39 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/device"
 	"repro/internal/experiment"
 	"repro/internal/fleet"
 	"repro/internal/obs"
+	"repro/internal/obs/timeline"
 )
+
+// metricsCommands lists every command whose run produces observability
+// snapshots, i.e. the commands -metrics accepts. traceCommands is the
+// subset whose per-run snapshots carry flight-recorder events, i.e. the
+// commands -trace accepts.
+var (
+	metricsCommands = []string{"table1", "table2", "table3", "verify", "findings", "defense", "all"}
+	traceCommands   = []string{"table1", "table2", "table3", "verify", "all"}
+)
+
+// cliTraceCap sizes the flight-recorder ring for -trace runs: large enough
+// that a whole table row survives without eviction, small enough to stay
+// cheap.
+const cliTraceCap = 65536
+
+func supports(cmds []string, cmd string) bool {
+	for _, c := range cmds {
+		if c == cmd {
+			return true
+		}
+	}
+	return false
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -46,9 +74,22 @@ func run(args []string) error {
 	recovery := fs.Duration("recovery", 30*time.Second, "inter-trial recovery (paper uses 2m)")
 	jsonOut := fs.Bool("json", false, "emit JSON instead of rendered tables (table1/table2/table3)")
 	parallel := fs.Int("parallel", 0, "measure tables with N concurrent testbeds (0 = serial)")
-	metricsOut := fs.String("metrics", "", "write merged metrics snapshot to this JSON file (table1/table2/table3/verify/findings/defense)")
+	metricsOut := fs.String("metrics", "", "write merged metrics snapshot to this file ("+strings.Join(metricsCommands, "/")+")")
+	metricsFormat := fs.String("metrics-format", "json", "metrics encoding: json or openmetrics")
+	traceOut := fs.String("trace", "", "write attack flight-recorder timeline to this file ("+strings.Join(traceCommands, "/")+")")
+	traceFormat := fs.String("trace-format", "chrome", "trace encoding: chrome (Perfetto-loadable) or text")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *metricsFormat {
+	case "json", "openmetrics":
+	default:
+		return fmt.Errorf("-metrics-format: unknown format %q (supported: json, openmetrics)", *metricsFormat)
+	}
+	switch *traceFormat {
+	case "chrome", "text":
+	default:
+		return fmt.Errorf("-trace-format: unknown format %q (supported: chrome, text)", *traceFormat)
 	}
 	// Flag parsing stops at the first positional, so subcommand flags
 	// arrive in fs.Args()[1:].
@@ -60,19 +101,37 @@ func run(args []string) error {
 		return fmt.Errorf("expected one command: table1|table2|table3|verify|findings|defense|recon|ablation|all|fleet")
 	}
 	cmd := fs.Arg(0)
+	if *traceOut != "" && !supports(traceCommands, cmd) {
+		return fmt.Errorf("-trace: command %q records no timeline (supported: %s)", cmd, strings.Join(traceCommands, ", "))
+	}
 
 	opts := experiment.TableOptions{Seed: *seed, Trials: *trials, Recovery: *recovery}
+	if *traceOut != "" {
+		opts.TraceCap = cliTraceCap
+	}
 	out := os.Stdout
 
 	// Metrics snapshots from every command of this invocation, for
-	// -metrics: per-testbed snapshots merge into a single file.
+	// -metrics: per-testbed snapshots merge into a single file. Trace
+	// sources are the per-run event streams behind -trace, one named
+	// timeline per table row / case / verified device.
 	var metricSnaps []obs.Snapshot
+	var traceSrcs []timeline.Source
+
+	rowSources := func(rows []experiment.TableRow) {
+		for _, r := range rows {
+			if len(r.Metrics.Trace) > 0 {
+				traceSrcs = append(traceSrcs, timeline.Source{Name: r.Label, Events: r.Metrics.Trace})
+			}
+		}
+	}
 
 	runOne := func(name string) error {
 		switch name {
 		case "table1":
 			rows := runTable(cloudLabels(), opts, *parallel)
 			metricSnaps = append(metricSnaps, experiment.MergedMetrics(rows))
+			rowSources(rows)
 			if *jsonOut {
 				return experiment.WriteRowsJSON(out, rows)
 			}
@@ -82,14 +141,27 @@ func run(args []string) error {
 			t2.UnboundedDemo = 2 * time.Hour
 			rows := runTable(localLabels(), t2, *parallel)
 			metricSnaps = append(metricSnaps, experiment.MergedMetrics(rows))
+			rowSources(rows)
 			if *jsonOut {
 				return experiment.WriteRowsJSON(out, rows)
 			}
 			experiment.FormatRows(out, "Table II — HomeKit accessories on a local hub (17)", rows)
 		case "table3":
-			results := experiment.RunCases(experiment.Table3Cases(), *seed+500)
+			cases := experiment.Table3Cases()
+			if *traceOut != "" {
+				for i := range cases {
+					cases[i].TraceCap = cliTraceCap
+				}
+			}
+			results := experiment.RunCases(cases, *seed+500)
 			for _, r := range results {
 				metricSnaps = append(metricSnaps, r.Metrics)
+				if len(r.Metrics.Trace) > 0 {
+					traceSrcs = append(traceSrcs, timeline.Source{
+						Name:   fmt.Sprintf("case-%d", r.Case.ID),
+						Events: r.Metrics.Trace,
+					})
+				}
 			}
 			if *jsonOut {
 				return experiment.WriteCasesJSON(out, results)
@@ -97,9 +169,14 @@ func run(args []string) error {
 			experiment.FormatCaseResults(out, results)
 		case "verify":
 			labels := []string{"C1", "L2", "CM1", "K2", "M7", "A1"}
-			results := experiment.RunVerification(labels, experiment.VerifyOptions{Seed: *seed + 600, Trials: *trials})
+			results := experiment.RunVerification(labels, experiment.VerifyOptions{
+				Seed: *seed + 600, Trials: *trials, TraceCap: opts.TraceCap,
+			})
 			for _, r := range results {
 				metricSnaps = append(metricSnaps, r.Metrics)
+				if len(r.Metrics.Trace) > 0 {
+					traceSrcs = append(traceSrcs, timeline.Source{Name: r.Label, Events: r.Metrics.Trace})
+				}
 			}
 			experiment.FormatVerifyResults(out, results)
 		case "findings":
@@ -140,12 +217,13 @@ func run(args []string) error {
 				return err
 			}
 		}
-		return writeMetrics(*metricsOut, cmd, metricSnaps)
-	}
-	if err := runOne(cmd); err != nil {
+	} else if err := runOne(cmd); err != nil {
 		return err
 	}
-	return writeMetrics(*metricsOut, cmd, metricSnaps)
+	if err := writeMetrics(*metricsOut, *metricsFormat, cmd, metricSnaps); err != nil {
+		return err
+	}
+	return writeTrace(*traceOut, *traceFormat, cmd, traceSrcs)
 }
 
 // runFleet executes the fleet subcommand: a sharded attack campaign over a
@@ -177,6 +255,7 @@ func runFleet(args []string) error {
 		}
 	}
 
+	progress := &fleetProgress{w: os.Stderr, start: time.Now(), homesTotal: *homes}
 	c := fleet.Campaign{
 		Spec:           spec,
 		Homes:          *homes,
@@ -184,9 +263,7 @@ func runFleet(args []string) error {
 		ShardSize:      *shardSize,
 		Seed:           *seed,
 		CheckpointPath: *checkpointPath,
-		Progress: func(done, total int) {
-			fmt.Fprintf(os.Stderr, "fleet: %d/%d shards\n", done, total)
-		},
+		OnShard:        progress.onShard,
 	}
 	res, err := c.Run()
 	if err != nil {
@@ -205,23 +282,103 @@ func runFleet(args []string) error {
 	return res.WriteJSON(w)
 }
 
-// writeMetrics dumps the merged metrics snapshot of the run to path. A run
-// that produced no snapshots has nothing meaningful to write — that is a
-// usage error, not an empty file.
-func writeMetrics(path, cmd string, snaps []obs.Snapshot) error {
+// fleetProgress renders live campaign progress on stderr: homes completed,
+// throughput, per-model running success rate, and an ETA. It runs on the
+// campaign's collector goroutine and only writes to w — it never touches
+// the aggregated results, which stay byte-identical with or without it.
+type fleetProgress struct {
+	w          io.Writer
+	start      time.Time
+	homesTotal int
+
+	homesDone int
+	models    []string // insertion-ordered model names
+	trials    map[string]int
+	successes map[string]int
+}
+
+func (p *fleetProgress) onShard(s fleet.ShardResult, done, total int) {
+	if p.trials == nil {
+		p.trials = make(map[string]int)
+		p.successes = make(map[string]int)
+	}
+	p.homesDone += s.Homes
+	for _, t := range s.Tallies {
+		if _, ok := p.trials[t.Model]; !ok {
+			p.models = append(p.models, t.Model)
+		}
+		p.trials[t.Model] += t.Trials
+		p.successes[t.Model] += t.Successes
+	}
+
+	line := fmt.Sprintf("fleet: shard %d/%d  homes %d/%d", done, total, p.homesDone, p.homesTotal)
+	if elapsed := time.Since(p.start).Seconds(); elapsed > 0 {
+		rate := float64(p.homesDone) / elapsed
+		line += fmt.Sprintf("  %.1f homes/s", rate)
+		if remaining := p.homesTotal - p.homesDone; remaining > 0 && rate > 0 {
+			eta := time.Duration(float64(remaining)/rate*float64(time.Second)).Round(time.Second)
+			line += fmt.Sprintf("  ETA %v", eta)
+		}
+	}
+	sort.Strings(p.models)
+	for _, m := range p.models {
+		if n := p.trials[m]; n > 0 {
+			line += fmt.Sprintf("  %s %.0f%%", m, 100*float64(p.successes[m])/float64(n))
+		}
+	}
+	fmt.Fprintln(p.w, line)
+}
+
+// writeMetrics dumps the merged metrics snapshot of the run to path, in the
+// requested encoding. A run that produced no snapshots has nothing
+// meaningful to write — that is a usage error, not an empty file.
+func writeMetrics(path, format, cmd string, snaps []obs.Snapshot) error {
 	if path == "" {
 		return nil
 	}
 	if len(snaps) == 0 {
-		return fmt.Errorf("-metrics: command %q produces no metrics (supported: table1, table2, table3, verify, findings, defense, all)", cmd)
+		return fmt.Errorf("-metrics: command %q produces no metrics (supported: %s)", cmd, strings.Join(metricsCommands, ", "))
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("metrics output: %w", err)
 	}
-	if err := experiment.WriteSnapshotsJSON(f, snaps); err != nil {
+	if format == "openmetrics" {
+		err = obs.WriteOpenMetrics(f, obs.Merge(snaps...))
+	} else {
+		err = experiment.WriteSnapshotsJSON(f, snaps)
+	}
+	if err != nil {
 		f.Close()
 		return fmt.Errorf("metrics output: %w", err)
+	}
+	return f.Close()
+}
+
+// writeTrace reconstructs per-run timelines from the collected flight-
+// recorder streams and writes them to path. A -trace run whose results
+// carried no events means tracing never engaged — surface that instead of
+// writing an empty file.
+func writeTrace(path, format, cmd string, srcs []timeline.Source) error {
+	if path == "" {
+		return nil
+	}
+	if len(srcs) == 0 {
+		return fmt.Errorf("-trace: command %q produced no flight-recorder events", cmd)
+	}
+	tls := timeline.BuildAll(srcs)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace output: %w", err)
+	}
+	if format == "text" {
+		err = timeline.WriteText(f, tls)
+	} else {
+		err = timeline.WriteChromeTrace(f, tls)
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("trace output: %w", err)
 	}
 	return f.Close()
 }

@@ -90,9 +90,94 @@ func TestRunFindingsMetricsOutput(t *testing.T) {
 	}
 }
 
+func TestRunMetricsOpenMetricsFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.om")
+	if err := run([]string{"-seed", "3", "-metrics", path, "-metrics-format", "openmetrics", "findings"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte("# TYPE ")) || !bytes.HasSuffix(raw, []byte("# EOF\n")) {
+		t.Fatalf("not OpenMetrics exposition:\n%.400s", raw)
+	}
+}
+
+func TestRunTraceOutput(t *testing.T) {
+	dir := t.TempDir()
+	chrome := filepath.Join(dir, "trace.json")
+	if err := run([]string{"-seed", "5", "-trials", "1", "-trace", chrome, "verify"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+
+	text := filepath.Join(dir, "trace.txt")
+	if err := run([]string{"-seed", "5", "-trials", "1", "-trace", text, "-trace-format", "text", "verify"}); err != nil {
+		t.Fatal(err)
+	}
+	txt, err := os.ReadFile(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(txt, []byte("=== C1 ===")) {
+		t.Fatalf("text trace missing per-device section:\n%.400s", txt)
+	}
+}
+
+func TestRunTraceDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	outA := filepath.Join(dir, "a.json")
+	outB := filepath.Join(dir, "b.json")
+	for _, p := range []string{outA, outB} {
+		if err := run([]string{"-seed", "5", "-trials", "1", "-trace", p, "verify"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := os.ReadFile(outA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(outB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed trace files differ")
+	}
+}
+
+func TestRunTraceRejectsBadUsage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.json")
+	if err := run([]string{"-trace", path, "recon"}); err == nil {
+		t.Fatal("-trace on a traceless command accepted")
+	}
+	if err := run([]string{"-trace", path, "-trace-format", "svg", "verify"}); err == nil {
+		t.Fatal("bad -trace-format accepted")
+	}
+	if err := run([]string{"-metrics", path, "-metrics-format", "yaml", "findings"}); err == nil {
+		t.Fatal("bad -metrics-format accepted")
+	}
+	if _, statErr := os.Stat(path); statErr == nil {
+		t.Fatal("rejected run still wrote a file")
+	}
+}
+
 func TestWriteMetricsRejectsEmpty(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "metrics.json")
-	err := writeMetrics(path, "recon", nil)
+	err := writeMetrics(path, "json", "recon", nil)
 	if err == nil {
 		t.Fatal("empty snapshot set should be rejected")
 	}

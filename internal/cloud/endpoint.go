@@ -12,6 +12,7 @@ import (
 	"repro/internal/httpsim"
 	"repro/internal/ipnet"
 	"repro/internal/mqttsim"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/rules"
 	"repro/internal/simtime"
@@ -55,6 +56,7 @@ type EndpointServer struct {
 
 	profiles map[string]device.Profile
 	owner    map[string]string // device label -> session-owner label
+	trace    *obs.Trace
 
 	// OnEvent receives every device event this endpoint accepts (wired to
 	// the integration server by the testbed builder).
@@ -82,16 +84,29 @@ func NewEndpointServer(clk *simtime.Clock, ip *ipnet.Stack, rng *simtime.Rand, c
 	s.http.OnRequest = s.onHTTPRequest
 
 	if _, err := s.tcp.Listen(MQTTPort, func(c *tcpsim.Conn) {
-		s.broker.Accept(tlssim.Server(c, s.rng))
+		sess := tlssim.Server(c, s.rng)
+		sess.Instrument(s.trace, s.cfg.Domain)
+		s.broker.Accept(sess)
 	}); err != nil {
 		return nil, fmt.Errorf("endpoint %s: %w", cfg.Domain, err)
 	}
 	if _, err := s.tcp.Listen(HTTPSPort, func(c *tcpsim.Conn) {
-		s.http.Accept(tlssim.Server(c, s.rng))
+		sess := tlssim.Server(c, s.rng)
+		sess.Instrument(s.trace, s.cfg.Domain)
+		s.http.Accept(sess)
 	}); err != nil {
 		return nil, fmt.Errorf("endpoint %s: %w", cfg.Domain, err)
 	}
 	return s, nil
+}
+
+// Instrument attaches the registry's trace ring (when enabled) so
+// server-side TLS sessions emit per-record events — the evidence that
+// records released after a hold still verify in order at the endpoint.
+func (s *EndpointServer) Instrument(reg *obs.Registry) {
+	if tr := reg.Trace(); tr.Enabled() {
+		s.trace = tr
+	}
 }
 
 // Domain returns the vendor domain.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/rules"
 	"repro/internal/simtime"
@@ -84,6 +85,7 @@ type IntegrationServer struct {
 	notifications []Notification
 	commands      []*CommandRecord
 	alarms        proto.AlarmLog
+	trace         *obs.Trace
 }
 
 // NewIntegrationServer creates the automation server.
@@ -100,6 +102,22 @@ func NewIntegrationServer(clk *simtime.Clock, cfg IntegrationConfig) *Integratio
 	}
 	s.engine.Execute = s.execute
 	return s
+}
+
+// Instrument attaches the registry's trace ring (when enabled) so the
+// server emits "cloud" events: event_accepted, event_discarded, alarm and
+// rule_fired — the automation-visible tail of every phantom delay.
+func (s *IntegrationServer) Instrument(reg *obs.Registry) {
+	if tr := reg.Trace(); tr.Enabled() {
+		s.trace = tr
+	}
+}
+
+func (s *IntegrationServer) emit(event, detail string, value int64) {
+	if s.trace == nil {
+		return
+	}
+	s.trace.Emit(s.clk.Now(), "cloud", event, detail, value)
 }
 
 // Engine exposes the rule engine (for installing rules and inspection).
@@ -167,12 +185,19 @@ func (s *IntegrationServer) Ingest(ev rules.Event) {
 	if s.cfg.Policy != StaleAccept && s.cfg.MaxEventAge > 0 {
 		if age := ev.ReceivedAt - ev.GeneratedAt; age > s.cfg.MaxEventAge {
 			s.discarded = append(s.discarded, ev)
+			if s.trace != nil {
+				s.emit("event_discarded", ev.Device+"/"+ev.Attribute, int64(age))
+			}
 			if s.cfg.Policy == StaleRejectAlert {
+				s.emit("alarm", ev.Device+":stale-event", int64(age))
 				s.alarms.Raise(s.clk.Now(), ev.Device, "stale-event",
 					fmt.Sprintf("%s.%s=%s aged %v", ev.Device, ev.Attribute, ev.Value, age))
 			}
 			return
 		}
+	}
+	if s.trace != nil {
+		s.emit("event_accepted", ev.Device+"/"+ev.Attribute, int64(ev.ReceivedAt-ev.GeneratedAt))
 	}
 	s.events = append(s.events, ev)
 	s.engine.HandleEvent(ev)
@@ -181,12 +206,18 @@ func (s *IntegrationServer) Ingest(ev rules.Event) {
 func (s *IntegrationServer) execute(a rules.Action, cause rules.Event) {
 	switch a.Kind {
 	case rules.ActionNotify:
+		if s.trace != nil {
+			s.emit("rule_fired", "notify:"+a.Message, int64(s.clk.Now()-cause.GeneratedAt))
+		}
 		s.notifications = append(s.notifications, Notification{
 			At:      s.clk.Now(),
 			Message: a.Message,
 			Cause:   cause,
 		})
 	case rules.ActionCommand:
+		if s.trace != nil {
+			s.emit("rule_fired", "command:"+a.Device+"."+a.Attribute+"="+a.Value, int64(s.clk.Now()-cause.GeneratedAt))
+		}
 		rec := &CommandRecord{
 			IssuedAt:  s.clk.Now(),
 			Device:    a.Device,

@@ -6,6 +6,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/hapsim"
 	"repro/internal/ipnet"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/rules"
 	"repro/internal/simtime"
@@ -28,6 +29,7 @@ type LocalHub struct {
 	events        []rules.Event
 	notifications []Notification
 	commands      []*CommandRecord
+	trace         *obs.Trace
 }
 
 // NewLocalHub creates the hub and starts its listener.
@@ -44,11 +46,29 @@ func NewLocalHub(clk *simtime.Clock, ip *ipnet.Stack, rng *simtime.Rand) (*Local
 	h.engine.Execute = h.execute
 	h.hub.OnEvent = h.onEvent
 	if _, err := h.tcp.Listen(HAPPort, func(c *tcpsim.Conn) {
-		h.hub.Accept(tlssim.Server(c, h.rng))
+		sess := tlssim.Server(c, h.rng)
+		sess.Instrument(h.trace, "hub")
+		h.hub.Accept(sess)
 	}); err != nil {
 		return nil, fmt.Errorf("local hub: %w", err)
 	}
 	return h, nil
+}
+
+// Instrument attaches the registry's trace ring (when enabled) so the hub
+// emits "cloud" events (event_accepted, rule_fired) and its accessory TLS
+// sessions emit per-record events.
+func (h *LocalHub) Instrument(reg *obs.Registry) {
+	if tr := reg.Trace(); tr.Enabled() {
+		h.trace = tr
+	}
+}
+
+func (h *LocalHub) emit(event, detail string, value int64) {
+	if h.trace == nil {
+		return
+	}
+	h.trace.Emit(h.clk.Now(), "cloud", event, detail, value)
 }
 
 // Addr returns the hub's accessory-facing endpoint.
@@ -114,6 +134,9 @@ func (h *LocalHub) onEvent(accessoryID string, m hapsim.Message) {
 		GeneratedAt: m.Timestamp,
 		ReceivedAt:  h.clk.Now(),
 	}
+	if h.trace != nil {
+		h.emit("event_accepted", ev.Device+"/"+ev.Attribute, int64(ev.ReceivedAt-ev.GeneratedAt))
+	}
 	h.events = append(h.events, ev)
 	h.engine.HandleEvent(ev)
 }
@@ -121,8 +144,14 @@ func (h *LocalHub) onEvent(accessoryID string, m hapsim.Message) {
 func (h *LocalHub) execute(a rules.Action, cause rules.Event) {
 	switch a.Kind {
 	case rules.ActionNotify:
+		if h.trace != nil {
+			h.emit("rule_fired", "notify:"+a.Message, int64(h.clk.Now()-cause.GeneratedAt))
+		}
 		h.notifications = append(h.notifications, Notification{At: h.clk.Now(), Message: a.Message, Cause: cause})
 	case rules.ActionCommand:
+		if h.trace != nil {
+			h.emit("rule_fired", "command:"+a.Device+"."+a.Attribute+"="+a.Value, int64(h.clk.Now()-cause.GeneratedAt))
+		}
 		rec := &CommandRecord{
 			IssuedAt:  h.clk.Now(),
 			Device:    a.Device,

@@ -26,6 +26,9 @@ type DelayOp struct {
 	released  bool
 	relTimer  *simtime.Timer
 	cancelled bool
+	// traceDetail labels the op's trace span (origin/kind of the captured
+	// record), set at match time.
+	traceDetail string
 
 	// OnMatched fires when the target record starts being held.
 	OnMatched func(ClassifiedRecord)
@@ -49,6 +52,9 @@ func (op *DelayOp) Release() {
 		op.relTimer.Stop()
 	}
 	held := op.h.atk.Clock.Now() - op.matchedAt
+	if m := op.h.atk.met; m.trace != nil {
+		m.trace.Emit(op.h.atk.Clock.Now(), "core", "op_released", op.traceDetail, int64(held))
+	}
 	op.bridge.Release(op.dir)
 	if op.OnReleased != nil {
 		op.OnReleased(held)
@@ -98,6 +104,13 @@ func (h *Hijacker) opsPolicy(b *Bridge, r RecordInfo) Decision {
 		op.matched = true
 		op.matchedAt = h.atk.Clock.Now()
 		op.bridge = b
+		if m := h.atk.met; m.trace != nil {
+			op.traceDetail = r.Dir.String()
+			if cr.Known {
+				op.traceDetail = cr.Msg.Origin + "/" + cr.Msg.Kind.String()
+			}
+			m.trace.Emit(op.matchedAt, "core", "op_matched", op.traceDetail, int64(r.WireLen))
+		}
 		if op.OnMatched != nil {
 			op.OnMatched(cr)
 		}

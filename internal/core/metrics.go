@@ -46,7 +46,9 @@ func (a *Attacker) Instrument(reg *obs.Registry) {
 		heldDepth:      reg.Gauge("core_held_records"),
 		releaseLatency: reg.Histogram("core_release_latency_seconds", obs.DurationBuckets),
 		spoofedSends:   reg.Counter("core_spoofed_sends_total"),
-		trace:          reg.Trace(),
+	}
+	if tr := reg.Trace(); tr.Enabled() {
+		a.met.trace = tr
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/httpsim"
 	"repro/internal/ipnet"
 	"repro/internal/mqttsim"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/simtime"
 	"repro/internal/tcpsim"
@@ -24,6 +25,9 @@ type Env struct {
 	RNG   *simtime.Rand
 	// Server is the device's cloud endpoint (or local hub for HAP).
 	Server tcpsim.Endpoint
+	// Trace, when enabled, makes the device's TLS and application-protocol
+	// sessions emit flight-recorder events.
+	Trace *obs.Trace
 }
 
 // EventTopic returns the MQTT topic carrying a device's events.
@@ -332,7 +336,9 @@ func (d *Device) onClosed(reason proto.CloseReason) {
 
 func (d *Device) dialTLS() *tlssim.Conn {
 	tcp := d.env.TCP.Dial(d.env.Server)
-	return tlssim.Client(tcp, d.env.RNG)
+	sess := tlssim.Client(tcp, d.env.RNG)
+	sess.Instrument(d.env.Trace, d.profile.Label)
+	return sess
 }
 
 func (d *Device) startMQTT() {
@@ -345,6 +351,7 @@ func (d *Device) startMQTT() {
 		AckTimeout:  d.profile.EventTimeout,
 		PingLen:     d.profile.KeepAliveLen,
 	})
+	cli.Instrument(d.env.Trace)
 	d.mqtt = cli
 	cli.OnConnected = func() {
 		d.connected = true
@@ -371,6 +378,7 @@ func (d *Device) startHTTPLong() {
 		ResponseTimeout:  d.profile.EventTimeout,
 		KeepAliveLen:     d.profile.KeepAliveLen,
 	})
+	cli.Instrument(d.env.Trace)
 	d.http = cli
 	cli.OnReady = func() {
 		d.connected = true
@@ -408,6 +416,7 @@ func (d *Device) sendOnDemandEvent(origin Profile, attr, value string) {
 		DeviceID:        d.profile.Label,
 		ResponseTimeout: d.profile.EventTimeout,
 	})
+	cli.Instrument(d.env.Trace)
 	cli.OnReady = func() {
 		if _, err := cli.Request("/event", EncodeBody(origin.Label, attr, value), origin.EventLen); err != nil {
 			cli.Close()

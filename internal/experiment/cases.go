@@ -32,6 +32,12 @@ type Case struct {
 	// CaseRun.Trace).
 	Trace io.Writer
 
+	// TraceCap sizes the testbeds' flight-recorder rings (see
+	// TestbedConfig.TraceCap). An explicit capacity (> 0) records the
+	// attack arm only, so the exported timeline is not interleaved with
+	// baseline-arm events.
+	TraceCap int
+
 	// Hijacks lists the devices whose sessions the attacker takes over.
 	// The man-in-the-middle positions are installed before the home
 	// starts, so every session establishes through the attacker (attack
@@ -141,10 +147,15 @@ func runCase(c Case, seed int64) (res CaseResult) {
 	var armSnaps []obs.Snapshot
 
 	runArm := func(attacked bool, armSeed int64) (consequence bool, detail string, alarms int, err error) {
+		traceCap := c.TraceCap
+		if !attacked && c.TraceCap > 0 {
+			traceCap = -1
+		}
 		tb, err := NewTestbed(TestbedConfig{
 			Seed:        armSeed,
 			Devices:     c.Devices,
 			Integration: c.Integration,
+			TraceCap:    traceCap,
 		})
 		if err != nil {
 			return false, "", 0, err

@@ -25,6 +25,9 @@ type TableOptions struct {
 	// UnboundedDemo is how long unbounded holds are demonstrated before
 	// release (HomeKit events).
 	UnboundedDemo time.Duration
+	// TraceCap sizes each testbed's flight-recorder ring (see
+	// TestbedConfig.TraceCap): > 0 explicit, 0 default, < 0 disabled.
+	TraceCap int
 }
 
 func (o *TableOptions) fill() {
@@ -125,7 +128,7 @@ func measureDevice(label string, opts TableOptions, seed int64) (row TableRow) {
 	row.Truth = truth
 	row.HasCommands = truth.CommandAttr != ""
 
-	tb, err := NewTestbed(TestbedConfig{Seed: seed, Devices: []string{label}})
+	tb, err := NewTestbed(TestbedConfig{Seed: seed, Devices: []string{label}, TraceCap: opts.TraceCap})
 	if err != nil {
 		row.Err = err
 		return row
@@ -151,7 +154,9 @@ func measureDevice(label string, opts TableOptions, seed int64) (row TableRow) {
 	}
 	lab.Trials = opts.Trials
 	lab.Recovery = opts.Recovery
+	markPhase(tb, "phase_start", "profile", 0)
 	m, err := lab.Profile()
+	markPhase(tb, "phase_end", "profile", 0)
 	if err != nil {
 		row.Err = err
 		return row
@@ -165,13 +170,17 @@ func measureDevice(label string, opts TableOptions, seed int64) (row TableRow) {
 
 	// Demonstrate the maximum stealthy delays.
 	h.ArmPredictor(m)
+	markPhase(tb, "phase_start", "demo-event", 0)
 	row.EventDelayAchieved, row.EventDelayUnbounded, err = demonstrateEventDelay(tb, h, lab, opts)
+	markPhase(tb, "phase_end", "demo-event", int64(row.EventDelayAchieved))
 	if err != nil {
 		row.Err = err
 		return row
 	}
 	if row.HasCommands && lab.TriggerCommand != nil {
+		markPhase(tb, "phase_start", "demo-command", 0)
 		row.CommandDelayAchieved, row.CommandDelayUnbounded, err = demonstrateCommandDelay(tb, h, lab, opts)
+		markPhase(tb, "phase_end", "demo-command", int64(row.CommandDelayAchieved))
 		if err != nil {
 			row.Err = err
 			return row
@@ -251,6 +260,14 @@ func demonstrateCommandDelay(tb *Testbed, h *core.Hijacker, lab *core.Lab, opts 
 		return 0, false, fmt.Errorf("experiment: %s command delay never released", lab.CommandOrigin)
 	}
 	return achieved, !bounded, nil
+}
+
+// markPhase records an attack-phase boundary in the testbed's flight
+// recorder, giving the timeline exporter its top-level spans.
+func markPhase(tb *Testbed, event, name string, value int64) {
+	if tr := tb.Metrics.Trace(); tr.Enabled() {
+		tr.Emit(tb.Clock.Now(), "experiment", event, name, value)
+	}
 }
 
 func countAccepted(tb *Testbed, origin string) int {

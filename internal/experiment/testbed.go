@@ -36,6 +36,10 @@ type TestbedConfig struct {
 	WANLatency time.Duration
 	// Jitter perturbs latencies by the given factor.
 	Jitter float64
+	// TraceCap sizes the registry's flight-recorder ring: > 0 sets an
+	// explicit capacity, 0 keeps the default, < 0 disables tracing so the
+	// instrumented layers skip event emission entirely.
+	TraceCap int
 }
 
 // Testbed is a running simulated smart home.
@@ -97,6 +101,14 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	}
 	clk := simtime.NewClock()
 	reg := obs.NewRegistry()
+	// The trace capacity must be set before anything captures the ring:
+	// SetTraceCapacity replaces the Trace object, so later Instrument calls
+	// would otherwise hold the discarded one.
+	if cfg.TraceCap > 0 {
+		reg.SetTraceCapacity(cfg.TraceCap)
+	} else if cfg.TraceCap < 0 {
+		reg.SetTraceCapacity(0)
+	}
 	clk.Instrument(reg)
 	nw := netsim.NewNetwork(clk, cfg.Seed)
 	nw.Instrument(reg) // before segments so they get per-segment counters
@@ -126,6 +138,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	tb.Router.Forwarding = true
 
 	tb.Integration = cloud.NewIntegrationServer(clk, cfg.Integration)
+	tb.Integration.Instrument(reg)
 
 	// Resolve the full device set (pull in hubs for via-hub devices) in
 	// deployment order. The order is part of the simulation's determinism
@@ -209,6 +222,7 @@ func (tb *Testbed) ensureLocalHub() error {
 	if err != nil {
 		return err
 	}
+	hub.Instrument(tb.Metrics)
 	tb.LocalHub = hub
 	tb.ServerAddrs["local"] = LocalHubAddr
 	return nil
@@ -233,6 +247,7 @@ func (tb *Testbed) addEndpoint(domain string) error {
 	if err != nil {
 		return err
 	}
+	ep.Instrument(tb.Metrics)
 	tb.Endpoints[domain] = ep
 	tb.ServerAddrs[domain] = ip.Addr()
 	tb.Integration.AttachEndpoint(ep)
@@ -256,6 +271,9 @@ func (tb *Testbed) addDevice(p device.Profile) error {
 		IP:    ip,
 		TCP:   tcpsim.NewStack(tb.Clock, ip, tcpsim.Config{}, tb.cfg.Seed+int64(tb.nextHost)),
 		RNG:   tb.rng,
+	}
+	if tr := tb.Metrics.Trace(); tr.Enabled() {
+		env.Trace = tr
 	}
 	env.TCP.Instrument(tb.Metrics, p.Label)
 	switch p.Transport {

@@ -39,6 +39,9 @@ type VerifyOptions struct {
 	// Margin before the predicted timeout at which holds release
 	// (the paper uses 2 seconds).
 	Margin time.Duration
+	// TraceCap sizes each testbed's flight-recorder ring (see
+	// TestbedConfig.TraceCap).
+	TraceCap int
 }
 
 // RunVerification profiles each device, then runs randomized delay trials
@@ -59,7 +62,7 @@ func RunVerification(labels []string, opts VerifyOptions) []VerifyResult {
 
 func verifyDevice(label string, opts VerifyOptions, seed int64) (res VerifyResult) {
 	res = VerifyResult{Label: label, Trials: opts.Trials}
-	tb, err := NewTestbed(TestbedConfig{Seed: seed, Devices: []string{label}})
+	tb, err := NewTestbed(TestbedConfig{Seed: seed, Devices: []string{label}, TraceCap: opts.TraceCap})
 	if err != nil {
 		res.Err = err
 		return res

@@ -35,6 +35,11 @@ type Campaign struct {
 	// Progress, when set, is called after every completed shard with the
 	// number of completed shards (including resumed ones) and the total.
 	Progress func(done, total int)
+	// OnShard, when set, receives every shard result as it lands: resumed
+	// shards in index order before any work starts, then live shards in
+	// completion order. All calls happen on the collector goroutine, and
+	// the callback observes results only — it cannot alter aggregation.
+	OnShard func(s ShardResult, done, total int)
 }
 
 // ShardResult is the deterministic outcome of one shard: a pure function
@@ -105,6 +110,11 @@ func (c Campaign) Run() (Result, error) {
 			c.Progress(len(done), total)
 		}
 	}
+	if c.OnShard != nil {
+		for i, s := range sortedShards(done) {
+			c.OnShard(s, i+1, total)
+		}
+	}
 	report()
 
 	var pending []int
@@ -148,6 +158,9 @@ func (c Campaign) Run() (Result, error) {
 				if err := ck.save(sortedShards(done)); err != nil {
 					return Result{}, err
 				}
+			}
+			if c.OnShard != nil {
+				c.OnShard(s, len(done), total)
 			}
 			report()
 		}

@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// TestOnShardObservesEveryShard: the callback sees each shard exactly once
+// with monotonically increasing done counts, and attaching it does not
+// change the aggregated result.
+func TestOnShardObservesEveryShard(t *testing.T) {
+	plain := testCampaign(t)
+	plainRes, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := testCampaign(t)
+	c.Workers = 4
+	seen := make(map[int]int)
+	lastDone := 0
+	homes := 0
+	c.OnShard = func(s ShardResult, done, total int) {
+		seen[s.Index]++
+		homes += s.Homes
+		if done != lastDone+1 || total != c.shardCount() {
+			t.Errorf("done/total = %d/%d after %d calls", done, total, lastDone)
+		}
+		lastDone = done
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != c.shardCount() {
+		t.Fatalf("callback saw %d shards, want %d", len(seen), c.shardCount())
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Fatalf("shard %d observed %d times", idx, n)
+		}
+	}
+	if homes != c.Homes {
+		t.Fatalf("callback saw %d homes, want %d", homes, c.Homes)
+	}
+	if !bytes.Equal(resultJSON(t, res), resultJSON(t, plainRes)) {
+		t.Error("OnShard changed the aggregated result")
+	}
+}
+
+// TestOnShardReplaysResumedShards: on resume, previously checkpointed
+// shards are delivered in index order before live work, so a progress
+// consumer's running totals start from the resumed state.
+func TestOnShardReplaysResumedShards(t *testing.T) {
+	c := testCampaign(t)
+	c.CheckpointPath = filepath.Join(t.TempDir(), "ck.json")
+	c = c.withDefaults()
+	c.Spec.fill()
+	resumedCount := c.shardCount() / 2
+	partial := make(map[int]ShardResult)
+	// Checkpoint the back half so the replay-order assertion below cannot
+	// pass by accident.
+	for idx := c.shardCount() - resumedCount; idx < c.shardCount(); idx++ {
+		partial[idx] = c.runShard(idx)
+	}
+	ck := newCheckpointer(c.CheckpointPath, c.identity())
+	if err := ck.save(sortedShards(partial)); err != nil {
+		t.Fatal(err)
+	}
+
+	var order []int
+	c.OnShard = func(s ShardResult, done, total int) {
+		order = append(order, s.Index)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != c.shardCount() {
+		t.Fatalf("callback saw %d shards, want %d", len(order), c.shardCount())
+	}
+	for i := 1; i < resumedCount; i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("resumed shards not replayed in index order: %v", order[:resumedCount])
+		}
+	}
+	replayed := make(map[int]bool)
+	for _, idx := range order[:resumedCount] {
+		replayed[idx] = true
+	}
+	for idx := range partial {
+		if !replayed[idx] {
+			t.Fatalf("checkpointed shard %d not replayed first: %v", idx, order)
+		}
+	}
+}

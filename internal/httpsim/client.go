@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/simtime"
 	"repro/internal/tlssim"
@@ -42,6 +43,7 @@ type Client struct {
 	ready  bool
 	closed bool
 	nextID uint16
+	trace  *obs.Trace
 
 	kaTimer   *simtime.Timer
 	deadlines map[uint16]*simtime.Timer
@@ -91,6 +93,23 @@ func NewClient(clk *simtime.Clock, sess *tlssim.Conn, cfg ClientConfig) *Client 
 	return c
 }
 
+// Instrument attaches a trace ring so the client emits "http" events
+// (keep-alive send/answer/timeout, request/response, close), labeled by the
+// device ID. A nil or disabled trace keeps the client silent.
+func (c *Client) Instrument(tr *obs.Trace) {
+	if !tr.Enabled() {
+		return
+	}
+	c.trace = tr
+}
+
+func (c *Client) emit(event, detail string, value int64) {
+	if c.trace == nil {
+		return
+	}
+	c.trace.Emit(c.clk.Now(), "http", event, detail, value)
+}
+
 // Ready reports whether the session is usable.
 func (c *Client) Ready() bool { return c.ready && !c.closed }
 
@@ -124,16 +143,24 @@ func (c *Client) request(path string, body []byte, padTo int, timeout time.Durat
 	if err := c.sess.Send(m.Marshal(padTo)); err != nil {
 		return 0, err
 	}
+	if path == KeepAlivePath {
+		c.emit("ka_sent", c.cfg.DeviceID, int64(id))
+	} else {
+		c.emit("request", c.cfg.DeviceID, int64(id))
+	}
 	if c.cfg.KeepAlive > 0 && c.cfg.Pattern == proto.PatternOnIdle && path != KeepAlivePath {
 		c.armKeepAlive()
 	}
 	if timeout > 0 {
 		reason := proto.ReasonAckTimeout
+		event := "ack_timeout"
 		if path == KeepAlivePath {
 			reason = proto.ReasonKeepAliveTimeout
+			event = "ka_timeout"
 		}
 		c.deadlines[id] = c.clk.Schedule(timeout, func() {
 			delete(c.deadlines, id)
+			c.emit(event, c.cfg.DeviceID, int64(id))
 			c.shutdown(reason)
 		})
 	}
@@ -179,8 +206,13 @@ func (c *Client) onMessage(b []byte) {
 			t.Stop()
 			delete(c.deadlines, m.ID)
 		}
-		if m.Path != KeepAlivePath && c.OnResponse != nil {
-			c.OnResponse(m)
+		if m.Path == KeepAlivePath {
+			c.emit("ka_answered", c.cfg.DeviceID, int64(m.ID))
+		} else {
+			c.emit("response", c.cfg.DeviceID, int64(m.ID))
+			if c.OnResponse != nil {
+				c.OnResponse(m)
+			}
 		}
 	case MsgRequest:
 		// Server-initiated command: acknowledge, then hand to the app.
@@ -210,6 +242,9 @@ func (c *Client) shutdown(reason proto.CloseReason) {
 func (c *Client) teardown(reason proto.CloseReason) {
 	if c.closed {
 		return
+	}
+	if c.trace != nil {
+		c.emit("closed", c.cfg.DeviceID+":"+reason.String(), 0)
 	}
 	c.closed = true
 	c.ready = false

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/simtime"
 	"repro/internal/tlssim"
@@ -42,6 +43,7 @@ type Client struct {
 	connected bool
 	closed    bool
 	nextID    uint16
+	trace     *obs.Trace
 
 	pingTimer    *simtime.Timer
 	pingDeadline *simtime.Timer
@@ -87,6 +89,23 @@ func NewClient(clk *simtime.Clock, sess *tlssim.Conn, cfg ClientConfig) *Client 
 	return c
 }
 
+// Instrument attaches a trace ring so the client emits "mqtt" events
+// (keep-alive send/answer/timeout, publish/puback, close), labeled by the
+// client ID. A nil or disabled trace keeps the client silent.
+func (c *Client) Instrument(tr *obs.Trace) {
+	if !tr.Enabled() {
+		return
+	}
+	c.trace = tr
+}
+
+func (c *Client) emit(event, detail string, value int64) {
+	if c.trace == nil {
+		return
+	}
+	c.trace.Emit(c.clk.Now(), "mqtt", event, detail, value)
+}
+
 // Connected reports whether the CONNACK has arrived.
 func (c *Client) Connected() bool { return c.connected }
 
@@ -124,9 +143,11 @@ func (c *Client) Publish(topic string, payload []byte, padTo int, needAck bool) 
 		Timestamp: c.clk.Now(),
 	}
 	c.send(pkt, padTo)
+	c.emit("publish", c.cfg.ClientID, int64(id))
 	if needAck && c.cfg.AckTimeout > 0 {
 		c.ackDeadlines[id] = c.clk.Schedule(c.cfg.AckTimeout, func() {
 			delete(c.ackDeadlines, id)
+			c.emit("ack_timeout", c.cfg.ClientID, int64(id))
 			c.shutdown(proto.ReasonAckTimeout)
 		})
 	}
@@ -173,8 +194,10 @@ func (c *Client) sendPing() {
 		return
 	}
 	c.send(Packet{Type: PacketPingReq}, c.cfg.PingLen)
+	c.emit("ka_sent", c.cfg.ClientID, 0)
 	if c.pingDeadline == nil || !c.pingDeadline.Active() {
 		c.pingDeadline = c.clk.Schedule(c.cfg.PingTimeout, func() {
+			c.emit("ka_timeout", c.cfg.ClientID, 0)
 			c.shutdown(proto.ReasonKeepAliveTimeout)
 		})
 	}
@@ -196,6 +219,7 @@ func (c *Client) onMessage(b []byte) {
 			c.OnConnected()
 		}
 	case PacketPingResp:
+		c.emit("ka_answered", c.cfg.ClientID, 0)
 		if c.pingDeadline != nil {
 			c.pingDeadline.Stop()
 		}
@@ -207,6 +231,7 @@ func (c *Client) onMessage(b []byte) {
 			c.OnCommand(pkt)
 		}
 	case PacketPubAck:
+		c.emit("puback", c.cfg.ClientID, int64(pkt.ID))
 		if t, ok := c.ackDeadlines[pkt.ID]; ok {
 			t.Stop()
 			delete(c.ackDeadlines, pkt.ID)
@@ -232,6 +257,9 @@ func (c *Client) shutdown(reason proto.CloseReason) {
 func (c *Client) teardown(reason proto.CloseReason) {
 	if c.closed {
 		return
+	}
+	if c.trace != nil {
+		c.emit("closed", c.cfg.ClientID+":"+reason.String(), 0)
 	}
 	c.closed = true
 	c.connected = false

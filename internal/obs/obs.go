@@ -297,8 +297,12 @@ type Snapshot struct {
 	Gauges     []GaugeValue     `json:"gauges"`
 	Histograms []HistogramValue `json:"histograms"`
 	Trace      []TraceEvent     `json:"trace,omitempty"`
-	// TraceDropped counts trace events lost to ring-buffer wraparound.
-	TraceDropped uint64 `json:"traceDropped,omitempty"`
+	// TraceEvicted counts stored trace events overwritten by ring-buffer
+	// wraparound; TraceDiscarded counts events a disabled trace refused.
+	// TraceDropped is their sum, kept for compatibility.
+	TraceEvicted   uint64 `json:"traceEvicted,omitempty"`
+	TraceDiscarded uint64 `json:"traceDiscarded,omitempty"`
+	TraceDropped   uint64 `json:"traceDropped,omitempty"`
 }
 
 // CounterValue is one counter in a snapshot.
@@ -355,6 +359,8 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	if r.trace != nil {
 		s.Trace = r.trace.Events()
+		s.TraceEvicted = r.trace.Evicted()
+		s.TraceDiscarded = r.trace.Discarded()
 		s.TraceDropped = r.trace.Dropped()
 	}
 	s.sort()
@@ -498,6 +504,8 @@ func Merge(snaps ...Snapshot) Snapshot {
 			}
 		}
 		out.Trace = append(out.Trace, s.Trace...)
+		out.TraceEvicted += s.TraceEvicted
+		out.TraceDiscarded += s.TraceDiscarded
 		out.TraceDropped += s.TraceDropped
 	}
 	out.Counters = make([]CounterValue, 0, len(counters))

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteOpenMetrics writes a snapshot in the OpenMetrics text exposition
+// format (the Prometheus scrape format), so campaign metrics plug into
+// standard dashboards:
+//
+//	# TYPE tcpsim_segments_sent counter
+//	tcpsim_segments_sent_total{host="C1"} 412
+//	# TYPE core_held_records gauge
+//	core_held_records 0
+//	# TYPE core_release_latency_seconds histogram
+//	core_release_latency_seconds_bucket{le="0.001"} 0
+//	...
+//	# EOF
+//
+// Counters follow the OpenMetrics family convention: the family name drops
+// the registry's "_total" suffix and the sample re-adds it. Gauges emit a
+// companion "<name>_max" gauge family carrying the high-water mark.
+// Histogram buckets are cumulative (the snapshot stores per-bucket counts)
+// and end with the implicit "+Inf" bucket, followed by _sum and _count.
+//
+// Snapshots are pre-sorted, so equal snapshots serialize byte-identically.
+func WriteOpenMetrics(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+	lastFamily := ""
+	family := func(name, typ string) {
+		if name == lastFamily {
+			return
+		}
+		lastFamily = name
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, typ)
+	}
+	for _, c := range s.Counters {
+		fam := strings.TrimSuffix(c.Name, "_total")
+		family(fam, "counter")
+		fmt.Fprintf(&b, "%s_total%s %d\n", fam, renderLabels(c.Labels, ""), c.Value)
+	}
+	for _, g := range s.Gauges {
+		family(g.Name, "gauge")
+		fmt.Fprintf(&b, "%s%s %d\n", g.Name, renderLabels(g.Labels, ""), g.Value)
+	}
+	// High-water marks as a separate gauge family per base gauge, emitted
+	// after the base families so each family's samples stay contiguous.
+	lastFamily = ""
+	for _, g := range s.Gauges {
+		family(g.Name+"_max", "gauge")
+		fmt.Fprintf(&b, "%s_max%s %d\n", g.Name, renderLabels(g.Labels, ""), g.Max)
+	}
+	lastFamily = ""
+	for _, h := range s.Histograms {
+		family(h.Name, "histogram")
+		labels := renderLabels(h.Labels, "")
+		cum := uint64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			le := strconv.FormatFloat(bound, 'g', -1, 64)
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", h.Name, renderLabels(h.Labels, le), cum)
+		}
+		if len(h.Counts) > len(h.Bounds) {
+			cum += h.Counts[len(h.Bounds)]
+		}
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", h.Name, renderLabels(h.Labels, "+Inf"), cum)
+		fmt.Fprintf(&b, "%s_sum%s %s\n", h.Name, labels, strconv.FormatFloat(h.Sum, 'g', -1, 64))
+		fmt.Fprintf(&b, "%s_count%s %d\n", h.Name, labels, h.Count)
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// renderLabels formats a label set, appending an "le" label when non-empty
+// (histogram buckets). An empty set with no le renders as "".
+func renderLabels(labels []Label, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func openmetricsFixture() Snapshot {
+	r := NewRegistry()
+	r.Counter("frames_total", L("segment", "lan")).Add(3)
+	r.Counter("frames_total", L("segment", "wan")).Add(1)
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Set(2)
+	h := r.Histogram("lat_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	return r.Snapshot()
+}
+
+func TestWriteOpenMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteOpenMetrics(&buf, openmetricsFixture()); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := []string{
+		"# TYPE frames counter\n",
+		`frames_total{segment="lan"} 3` + "\n",
+		`frames_total{segment="wan"} 1` + "\n",
+		"# TYPE depth gauge\ndepth 2\n",
+		"# TYPE depth_max gauge\ndepth_max 7\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="0.1"} 1` + "\n",
+		`lat_seconds_bucket{le="1"} 2` + "\n",
+		`lat_seconds_bucket{le="+Inf"} 3` + "\n",
+		"lat_seconds_sum 5.55\n",
+		"lat_seconds_count 3\n",
+	}
+	for _, w := range want {
+		if !strings.Contains(got, w) {
+			t.Fatalf("output missing %q:\n%s", w, got)
+		}
+	}
+	if !strings.HasSuffix(got, "# EOF\n") {
+		t.Fatalf("output does not end with # EOF:\n%s", got)
+	}
+	// One TYPE line per family even with several samples.
+	if n := strings.Count(got, "# TYPE frames counter"); n != 1 {
+		t.Fatalf("counter family declared %d times", n)
+	}
+}
+
+func TestWriteOpenMetricsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteOpenMetrics(&a, openmetricsFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteOpenMetrics(&b, openmetricsFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("equal snapshots serialized differently")
+	}
+}
+
+func TestWriteOpenMetricsEscapesLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", L("k", "a\"b\\c\nd")).Add(1)
+	var buf bytes.Buffer
+	if err := WriteOpenMetrics(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `x_total{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,98 @@
+package timeline
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// schema chrome://tracing and Perfetto load). Fields marshal in struct
+// order and args maps marshal with sorted keys, so equal timelines
+// serialize byte-identically.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+const usPerNs = 1e-3
+
+// WriteChromeTrace serializes timelines as a Chrome trace-event JSON file.
+// Each timeline becomes one process (named by its source), each track one
+// thread; spans render as complete ("X") events and marks as thread-scoped
+// instants ("i"). Load the output at https://ui.perfetto.dev or
+// chrome://tracing.
+func WriteChromeTrace(w io.Writer, tls []Timeline) error {
+	file := chromeFile{TraceEvents: []chromeEvent{}}
+	for ti, tl := range tls {
+		pid := ti + 1
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": tl.Name},
+		})
+		tracks := make(map[string]int)
+		var names []string
+		for _, s := range tl.Spans {
+			if _, ok := tracks[s.Track]; !ok {
+				tracks[s.Track] = 0
+				names = append(names, s.Track)
+			}
+		}
+		for _, m := range tl.Marks {
+			if _, ok := tracks[m.Track]; !ok {
+				tracks[m.Track] = 0
+				names = append(names, m.Track)
+			}
+		}
+		sort.Strings(names)
+		for i, n := range names {
+			tracks[n] = i + 1
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: i + 1,
+				Args: map[string]any{"name": n},
+			})
+		}
+		for _, s := range tl.Spans {
+			dur := float64(s.End-s.Start) * usPerNs
+			args := map[string]any{"detail": s.Detail, "complete": s.Complete}
+			if s.Close != "" {
+				args["close"] = s.Close
+			}
+			if s.Value != 0 {
+				args["value"] = s.Value
+			}
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: s.Name, Ph: "X",
+				Ts: float64(s.Start) * usPerNs, Dur: &dur,
+				Pid: pid, Tid: tracks[s.Track], Args: args,
+			})
+		}
+		for _, m := range tl.Marks {
+			args := map[string]any{}
+			if m.Detail != "" {
+				args["detail"] = m.Detail
+			}
+			if m.Value != 0 {
+				args["value"] = m.Value
+			}
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: m.Name, Ph: "i", S: "t",
+				Ts:  float64(m.At) * usPerNs,
+				Pid: pid, Tid: tracks[m.Track], Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(file)
+}

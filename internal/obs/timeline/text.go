@@ -1,0 +1,65 @@
+package timeline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteText renders timelines as an indented plain-text report — the quick
+// no-tooling view of the same data WriteChromeTrace exports.
+func WriteText(w io.Writer, tls []Timeline) error {
+	for i, tl := range tls {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "=== %s ===\n", tl.Name); err != nil {
+			return err
+		}
+		// One merged chronological listing; spans sort by start, marks by
+		// time, ties resolved span-first then by original order.
+		type line struct {
+			at   time.Duration
+			seq  int
+			text string
+		}
+		lines := make([]line, 0, len(tl.Spans)+len(tl.Marks))
+		for si, s := range tl.Spans {
+			state := s.Close
+			if !s.Complete {
+				state = "unclosed"
+			}
+			text := fmt.Sprintf("%12v  span %-9s %-28s %v (%s)",
+				s.Start, s.Name, s.Track, s.Duration(), state)
+			if s.Value != 0 {
+				text += fmt.Sprintf(" value=%d", s.Value)
+			}
+			lines = append(lines, line{at: s.Start, seq: si, text: text})
+		}
+		for mi, m := range tl.Marks {
+			text := fmt.Sprintf("%12v  mark %-9s %s", m.At, m.Name, m.Track)
+			if m.Detail != "" {
+				text += " " + m.Detail
+			}
+			if m.Value != 0 {
+				text += fmt.Sprintf(" value=%d", m.Value)
+			}
+			lines = append(lines, line{at: m.At, seq: len(tl.Spans) + mi, text: text})
+		}
+		sort.SliceStable(lines, func(a, b int) bool {
+			if lines[a].at != lines[b].at {
+				return lines[a].at < lines[b].at
+			}
+			return lines[a].seq < lines[b].seq
+		})
+		for _, l := range lines {
+			if _, err := fmt.Fprintln(w, l.text); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+// Package timeline reconstructs causal attack timelines from the flat
+// flight-recorder ring of package obs. The instrumented layers emit paired
+// point events (a hold starts / a hold releases, a keep-alive goes out / is
+// answered); Build folds each pair into a Span and leaves everything else
+// as a point Mark. The result renders as a Chrome trace-event file
+// (Perfetto-loadable, see WriteChromeTrace) or plain text (WriteText).
+package timeline
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Source is one run's flat event stream, named so multi-run exports (one
+// table row, one verification device) stay distinguishable.
+type Source struct {
+	Name   string
+	Events []obs.TraceEvent
+}
+
+// Span is one reconstructed interval: a hold window, a keep-alive exchange,
+// an in-flight request, an experiment phase.
+type Span struct {
+	// Track groups related spans for display: "component/detail".
+	Track string
+	// Name is the span kind ("hold", "keepalive", "phase", ...).
+	Name string
+	// Detail is the opening event's detail (device label, direction, ...).
+	Detail string
+	Start  time.Duration
+	End    time.Duration
+	// Close names the event that ended the span ("ka_answered",
+	// "ka_timeout", ...); empty for spans that never closed.
+	Close string
+	// Value is the closing event's payload (released record count, held
+	// duration in nanoseconds, ...).
+	Value int64
+	// Complete is false when the span was still open at the end of the
+	// stream, or was displaced by a newer open on the same key.
+	Complete bool
+}
+
+// Duration is the span's extent.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// Mark is an unpaired point event (a spoofed ACK, an RTO firing, a rule
+// firing).
+type Mark struct {
+	Track  string
+	Name   string
+	Detail string
+	At     time.Duration
+	Value  int64
+}
+
+// Timeline is one source's reconstructed view.
+type Timeline struct {
+	Name  string
+	Spans []Span
+	Marks []Mark
+}
+
+// spanRule pairs an opening event with its closing events. byValue keys
+// the pairing on the event's numeric payload too (request/response ids);
+// without it, pairing is per component+detail (one open hold per bridge
+// direction).
+type spanRule struct {
+	component string
+	open      string
+	closes    []string
+	name      string
+	byValue   bool
+}
+
+var spanRules = []spanRule{
+	{component: "core", open: "hold_start", closes: []string{"release"}, name: "hold"},
+	{component: "core", open: "op_matched", closes: []string{"op_released"}, name: "delay-op"},
+	{component: "mqtt", open: "ka_sent", closes: []string{"ka_answered", "ka_timeout"}, name: "keepalive"},
+	{component: "mqtt", open: "publish", closes: []string{"puback", "ack_timeout"}, name: "publish", byValue: true},
+	{component: "http", open: "ka_sent", closes: []string{"ka_answered", "ka_timeout"}, name: "keepalive", byValue: true},
+	{component: "http", open: "request", closes: []string{"response", "ack_timeout"}, name: "request", byValue: true},
+	{component: "experiment", open: "phase_start", closes: []string{"phase_end"}, name: "phase"},
+}
+
+// ruleIndex maps "component|event" to the rule it opens or closes.
+var openRules, closeRules = func() (map[string]*spanRule, map[string]*spanRule) {
+	opens := make(map[string]*spanRule)
+	closes := make(map[string]*spanRule)
+	for i := range spanRules {
+		r := &spanRules[i]
+		opens[r.component+"|"+r.open] = r
+		for _, c := range r.closes {
+			closes[r.component+"|"+c] = r
+		}
+	}
+	return opens, closes
+}()
+
+func pairKey(r *spanRule, ev obs.TraceEvent) string {
+	k := r.component + "|" + r.name + "|" + ev.Detail
+	if r.byValue {
+		k += "|" + strconv.FormatInt(ev.Value, 10)
+	}
+	return k
+}
+
+// Build reconstructs one source's timeline. Spans appear in the order they
+// opened; marks in event order — both deterministic for a deterministic
+// event stream.
+func Build(src Source) Timeline {
+	tl := Timeline{Name: src.Name}
+	open := make(map[string]int) // pairing key -> index into tl.Spans
+	var last time.Duration
+	for _, ev := range src.Events {
+		last = ev.At
+		if r, ok := openRules[ev.Component+"|"+ev.Event]; ok {
+			key := pairKey(r, ev)
+			if i, dup := open[key]; dup {
+				// A new open displaces a lost one (e.g. the close event was
+				// evicted from the ring): end it where the new one begins.
+				tl.Spans[i].End = ev.At
+			}
+			open[key] = len(tl.Spans)
+			tl.Spans = append(tl.Spans, Span{
+				Track:  ev.Component + "/" + ev.Detail,
+				Name:   r.name,
+				Detail: ev.Detail,
+				Start:  ev.At,
+				End:    ev.At,
+			})
+			continue
+		}
+		if r, ok := closeRules[ev.Component+"|"+ev.Event]; ok {
+			key := pairKey(r, ev)
+			if i, found := open[key]; found {
+				delete(open, key)
+				tl.Spans[i].End = ev.At
+				tl.Spans[i].Close = ev.Event
+				tl.Spans[i].Value = ev.Value
+				tl.Spans[i].Complete = true
+				continue
+			}
+			// Close without an open (the open was evicted): keep the
+			// information as a mark.
+		}
+		tl.Marks = append(tl.Marks, Mark{
+			Track:  ev.Component,
+			Name:   ev.Event,
+			Detail: ev.Detail,
+			At:     ev.At,
+			Value:  ev.Value,
+		})
+	}
+	// Spans still open when the stream ends extend to the last event.
+	for _, i := range open {
+		tl.Spans[i].End = last
+	}
+	return tl
+}
+
+// BuildAll builds one timeline per source.
+func BuildAll(srcs []Source) []Timeline {
+	out := make([]Timeline, 0, len(srcs))
+	for _, s := range srcs {
+		out = append(out, Build(s))
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package timeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func ev(at time.Duration, comp, event, detail string, value int64) obs.TraceEvent {
+	return obs.TraceEvent{At: at, Component: comp, Event: event, Detail: detail, Value: value}
+}
+
+func TestBuildPairsHoldSpan(t *testing.T) {
+	tl := Build(Source{Name: "C1", Events: []obs.TraceEvent{
+		ev(time.Second, "core", "hold_start", "up", 120),
+		ev(2*time.Second, "tcp", "spoofed_ack", "C1", 0),
+		ev(5*time.Second, "core", "release", "up", 3),
+	}})
+	if len(tl.Spans) != 1 || len(tl.Marks) != 1 {
+		t.Fatalf("spans=%d marks=%d, want 1/1", len(tl.Spans), len(tl.Marks))
+	}
+	s := tl.Spans[0]
+	if s.Name != "hold" || s.Track != "core/up" || !s.Complete {
+		t.Fatalf("span = %+v", s)
+	}
+	if s.Start != time.Second || s.End != 5*time.Second || s.Duration() != 4*time.Second {
+		t.Fatalf("span extent = [%v, %v]", s.Start, s.End)
+	}
+	if s.Close != "release" || s.Value != 3 {
+		t.Fatalf("close = %q value = %d", s.Close, s.Value)
+	}
+	if m := tl.Marks[0]; m.Name != "spoofed_ack" || m.At != 2*time.Second {
+		t.Fatalf("mark = %+v", m)
+	}
+}
+
+func TestBuildPairsByValue(t *testing.T) {
+	// Two interleaved in-flight HTTP requests from the same device pair by
+	// id, not first-in-first-out.
+	tl := Build(Source{Name: "d", Events: []obs.TraceEvent{
+		ev(1*time.Second, "http", "request", "P1", 1),
+		ev(2*time.Second, "http", "request", "P1", 2),
+		ev(3*time.Second, "http", "response", "P1", 2),
+		ev(9*time.Second, "http", "ack_timeout", "P1", 1),
+	}})
+	if len(tl.Spans) != 2 || len(tl.Marks) != 0 {
+		t.Fatalf("spans=%d marks=%d, want 2/0", len(tl.Spans), len(tl.Marks))
+	}
+	if tl.Spans[0].Close != "ack_timeout" || tl.Spans[0].End != 9*time.Second {
+		t.Fatalf("request 1 = %+v", tl.Spans[0])
+	}
+	if tl.Spans[1].Close != "response" || tl.Spans[1].End != 3*time.Second {
+		t.Fatalf("request 2 = %+v", tl.Spans[1])
+	}
+}
+
+func TestBuildUnclosedSpanExtendsToEnd(t *testing.T) {
+	tl := Build(Source{Name: "d", Events: []obs.TraceEvent{
+		ev(time.Second, "mqtt", "ka_sent", "C1", 0),
+		ev(7*time.Second, "cloud", "alarm", "C1:stale-event", 0),
+	}})
+	if len(tl.Spans) != 1 {
+		t.Fatalf("spans = %+v", tl.Spans)
+	}
+	s := tl.Spans[0]
+	if s.Complete || s.Close != "" || s.End != 7*time.Second {
+		t.Fatalf("unclosed span = %+v", s)
+	}
+}
+
+func TestBuildCloseWithoutOpenBecomesMark(t *testing.T) {
+	tl := Build(Source{Name: "d", Events: []obs.TraceEvent{
+		ev(time.Second, "core", "release", "up", 2),
+	}})
+	if len(tl.Spans) != 0 || len(tl.Marks) != 1 {
+		t.Fatalf("spans=%d marks=%d, want 0/1", len(tl.Spans), len(tl.Marks))
+	}
+	if tl.Marks[0].Name != "release" {
+		t.Fatalf("mark = %+v", tl.Marks[0])
+	}
+}
+
+func TestBuildDuplicateOpenDisplaces(t *testing.T) {
+	// The first hold's release was evicted from the ring: a second open on
+	// the same key ends it (incomplete) where the new one begins.
+	tl := Build(Source{Name: "d", Events: []obs.TraceEvent{
+		ev(1*time.Second, "core", "hold_start", "up", 0),
+		ev(4*time.Second, "core", "hold_start", "up", 0),
+		ev(6*time.Second, "core", "release", "up", 1),
+	}})
+	if len(tl.Spans) != 2 {
+		t.Fatalf("spans = %+v", tl.Spans)
+	}
+	if tl.Spans[0].Complete || tl.Spans[0].End != 4*time.Second {
+		t.Fatalf("displaced span = %+v", tl.Spans[0])
+	}
+	if !tl.Spans[1].Complete || tl.Spans[1].End != 6*time.Second {
+		t.Fatalf("live span = %+v", tl.Spans[1])
+	}
+}
+
+func TestBuildPhaseSpans(t *testing.T) {
+	tl := Build(Source{Name: "row", Events: []obs.TraceEvent{
+		ev(0, "experiment", "phase_start", "profile", 0),
+		ev(time.Minute, "experiment", "phase_end", "profile", 0),
+		ev(time.Minute, "experiment", "phase_start", "demo-event", 0),
+		ev(2*time.Minute, "experiment", "phase_end", "demo-event", 41),
+	}})
+	if len(tl.Spans) != 2 {
+		t.Fatalf("spans = %+v", tl.Spans)
+	}
+	if tl.Spans[0].Name != "phase" || tl.Spans[0].Detail != "profile" {
+		t.Fatalf("phase 0 = %+v", tl.Spans[0])
+	}
+	if tl.Spans[1].Value != 41 {
+		t.Fatalf("phase 1 value = %d, want 41", tl.Spans[1].Value)
+	}
+}
+
+func chromeFixture() []Timeline {
+	return BuildAll([]Source{
+		{Name: "C1", Events: []obs.TraceEvent{
+			ev(time.Second, "core", "hold_start", "up", 120),
+			ev(2*time.Second, "tcp", "spoofed_ack", "C1", 0),
+			ev(5*time.Second, "core", "release", "up", 3),
+		}},
+		{Name: "C2", Events: []obs.TraceEvent{
+			ev(time.Second, "mqtt", "ka_sent", "C2", 0),
+			ev(2*time.Second, "mqtt", "ka_answered", "C2", 0),
+		}},
+	})
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, chromeFixture()); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	var spans, instants, meta int
+	for _, e := range file.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			spans++
+			if e["dur"] == nil {
+				t.Fatalf("complete event without dur: %v", e)
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		}
+	}
+	// 2 spans, 1 instant, 2 process_name + 3 thread_name metadata records.
+	if spans != 2 || instants != 1 || meta != 5 {
+		t.Fatalf("spans=%d instants=%d meta=%d:\n%s", spans, instants, meta, buf.String())
+	}
+	// Timestamps are microseconds: the hold starts at 1s = 1e6 µs.
+	found := false
+	for _, e := range file.TraceEvents {
+		if e["name"] == "hold" && e["ts"] == 1e6 && e["dur"] == 4e6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hold span with µs timestamps missing:\n%s", buf.String())
+	}
+}
+
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, chromeFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, chromeFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("equal timelines serialized differently")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, chromeFixture()); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, w := range []string{"=== C1 ===", "=== C2 ===", "span hold", "mark spoofed_ack", "span keepalive"} {
+		if !strings.Contains(got, w) {
+			t.Fatalf("text render missing %q:\n%s", w, got)
+		}
+	}
+	// Chronological: the hold (1s) precedes the spoofed ACK (2s).
+	if strings.Index(got, "span hold") > strings.Index(got, "mark spoofed_ack") {
+		t.Fatalf("listing not chronological:\n%s", got)
+	}
+}

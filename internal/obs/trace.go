@@ -31,7 +31,12 @@ type Trace struct {
 	buf     []TraceEvent
 	next    int
 	wrapped bool
-	dropped uint64
+	// evicted counts stored events later overwritten by ring wraparound;
+	// discarded counts events a disabled (zero-capacity) trace refused.
+	// The distinction matters: a wrapped-but-healthy ring still holds the
+	// most recent window, while a discarding trace holds nothing.
+	evicted   uint64
+	discarded uint64
 }
 
 // NewTrace creates a ring holding up to capacity events. Capacity <= 0
@@ -47,7 +52,7 @@ func NewTrace(capacity int) *Trace {
 func (t *Trace) Add(ev TraceEvent) {
 	if t == nil || cap(t.buf) == 0 {
 		if t != nil {
-			t.dropped++
+			t.discarded++
 		}
 		return
 	}
@@ -58,7 +63,7 @@ func (t *Trace) Add(ev TraceEvent) {
 	t.buf[t.next] = ev
 	t.next = (t.next + 1) % cap(t.buf)
 	t.wrapped = true
-	t.dropped++
+	t.evicted++
 }
 
 // Emit is sugar for Add.
@@ -74,12 +79,37 @@ func (t *Trace) Len() int {
 	return len(t.buf)
 }
 
-// Dropped reports how many events were evicted or discarded.
+// Enabled reports whether the trace stores events at all. Instrumented
+// components capture nil handles when tracing is disabled, so the emission
+// path costs nothing when off.
+func (t *Trace) Enabled() bool {
+	return t != nil && cap(t.buf) > 0
+}
+
+// Evicted reports how many stored events were later overwritten by ring
+// wraparound — the buffer still holds the most recent window.
+func (t *Trace) Evicted() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.evicted
+}
+
+// Discarded reports how many events a disabled (zero-capacity) trace
+// refused outright.
+func (t *Trace) Discarded() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.discarded
+}
+
+// Dropped reports the total events lost either way: Evicted + Discarded.
 func (t *Trace) Dropped() uint64 {
 	if t == nil {
 		return 0
 	}
-	return t.dropped
+	return t.evicted + t.discarded
 }
 
 // Events returns the buffered events oldest-first.

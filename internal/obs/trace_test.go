@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTraceMultiWrapKeepsNewestOldestFirst(t *testing.T) {
+	tr := NewTrace(4)
+	const n = 11 // wraps the ring almost three times
+	for i := 0; i < n; i++ {
+		tr.Emit(time.Duration(i)*time.Millisecond, "c", "e", "", int64(i))
+	}
+	evs := tr.Events()
+	if len(evs) != 4 || tr.Len() != 4 {
+		t.Fatalf("len = %d/%d, want 4", len(evs), tr.Len())
+	}
+	for i, ev := range evs {
+		if want := int64(n - 4 + i); ev.Value != want {
+			t.Fatalf("event %d value = %d, want %d (oldest-first)", i, ev.Value, want)
+		}
+		if ev.At != time.Duration(ev.Value)*time.Millisecond {
+			t.Fatalf("event %d timestamp %v does not match value %d", i, ev.At, ev.Value)
+		}
+	}
+	if tr.Evicted() != n-4 || tr.Discarded() != 0 {
+		t.Fatalf("evicted=%d discarded=%d, want %d/0", tr.Evicted(), tr.Discarded(), n-4)
+	}
+	if tr.Dropped() != n-4 {
+		t.Fatalf("Dropped = %d, want evicted+discarded = %d", tr.Dropped(), n-4)
+	}
+}
+
+func TestTraceExactFillDoesNotEvict(t *testing.T) {
+	tr := NewTrace(3)
+	for i := 0; i < 3; i++ {
+		tr.Emit(0, "c", "e", "", int64(i))
+	}
+	if tr.Len() != 3 || tr.Evicted() != 0 || tr.Discarded() != 0 {
+		t.Fatalf("exact fill: len=%d evicted=%d discarded=%d",
+			tr.Len(), tr.Evicted(), tr.Discarded())
+	}
+	tr.Emit(0, "c", "e", "", 3)
+	if tr.Evicted() != 1 {
+		t.Fatalf("one past capacity: evicted=%d, want 1", tr.Evicted())
+	}
+}
+
+func TestTraceZeroCapDiscards(t *testing.T) {
+	tr := NewTrace(0)
+	if tr.Enabled() {
+		t.Fatal("zero-cap trace reports enabled")
+	}
+	for i := 0; i < 4; i++ {
+		tr.Emit(0, "c", "e", "", int64(i))
+	}
+	if tr.Len() != 0 || tr.Evicted() != 0 || tr.Discarded() != 4 || tr.Dropped() != 4 {
+		t.Fatalf("zero-cap: len=%d evicted=%d discarded=%d dropped=%d",
+			tr.Len(), tr.Evicted(), tr.Discarded(), tr.Dropped())
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.Emit(0, "c", "e", "", 0)
+	if tr.Enabled() || tr.Len() != 0 || tr.Events() != nil ||
+		tr.Evicted() != 0 || tr.Discarded() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil trace should read as empty and disabled")
+	}
+}
+
+func TestSetTraceCapacityReplacesRing(t *testing.T) {
+	r := NewRegistry()
+	r.Trace().Emit(0, "c", "old", "", 0)
+	r.SetTraceCapacity(2)
+	if got := r.Trace().Len(); got != 0 {
+		t.Fatalf("resized trace kept %d events", got)
+	}
+	if !r.Trace().Enabled() {
+		t.Fatal("resized trace should be enabled")
+	}
+	r.SetTraceCapacity(0)
+	if r.Trace().Enabled() {
+		t.Fatal("zero-capacity trace should be disabled")
+	}
+}

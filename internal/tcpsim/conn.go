@@ -139,6 +139,19 @@ type Conn struct {
 // Local returns the connection's local endpoint.
 func (c *Conn) Local() Endpoint { return c.local }
 
+// Clock returns the virtual clock of the stack the connection runs on, so
+// layers above TCP (tlssim) can timestamp trace events.
+func (c *Conn) Clock() *simtime.Clock { return c.stack.clk }
+
+// trace emits a "tcpsim" trace event when the stack is trace-instrumented.
+// The guard keeps the detail strings unbuilt on the common (off) path.
+func (c *Conn) trace(event, detail string, value int64) {
+	if c.stack.met.trace == nil {
+		return
+	}
+	c.stack.met.trace.Emit(c.stack.clk.Now(), "tcpsim", event, detail, value)
+}
+
 // Remote returns the connection's remote endpoint.
 func (c *Conn) Remote() Endpoint { return c.remote }
 
@@ -259,6 +272,12 @@ func (c *Conn) transmitRaw(seg Segment) {
 }
 
 func (c *Conn) sendAck() {
+	// A bare ACK from an address the stack does not own is the attacker's
+	// split connection acknowledging on a victim's behalf — the spoofed
+	// keep-alive answer that keeps every timer quiet during a hold.
+	if c.stack.met.trace != nil && c.local.Addr != c.stack.ip.Addr() {
+		c.trace("spoofed_ack", c.stack.met.host, int64(c.remote.Port))
+	}
 	c.transmitRaw(Segment{Seq: c.sndNxt, Ack: c.rcvNxt, Flags: FlagACK})
 }
 
@@ -298,6 +317,7 @@ func (c *Conn) onRTO() {
 		c.teardown(ErrTimeout)
 		return
 	}
+	c.trace("rto_fired", c.stack.met.host, int64(c.retries))
 	c.rtxq[0].retransmits = true
 	c.transmitEntry(c.rtxq[0], true)
 	c.rto *= 2
@@ -341,6 +361,7 @@ func (c *Conn) onKeepAlive() {
 	c.kaProbes++
 	c.stats.ProbesSent++
 	c.stack.met.kaProbes.Inc()
+	c.trace("ka_probe", c.stack.met.host, int64(c.kaProbes))
 	// Probe: one byte before snd.nxt, empty payload; elicits a bare ACK.
 	c.stack.sendRaw(c.local, c.remote, Segment{Seq: c.sndNxt - 1, Ack: c.rcvNxt, Flags: FlagACK})
 	c.stats.SegmentsSent++
@@ -383,6 +404,7 @@ func (c *Conn) handleSegment(seg Segment) {
 			c.rcvNxt = seg.Seq + 1
 			c.processAck(seg.Ack)
 			c.state = StateEstablished
+			c.trace("conn_established", c.stack.met.host, int64(c.remote.Port))
 			c.sendAck()
 			c.flushPending()
 			c.armKeepAlive()
@@ -395,6 +417,7 @@ func (c *Conn) handleSegment(seg Segment) {
 		if seg.Flags.Has(FlagACK) && seg.Ack == c.iss+1 {
 			c.processAck(seg.Ack)
 			c.state = StateEstablished
+			c.trace("conn_established", c.stack.met.host, int64(c.remote.Port))
 			c.flushPending()
 			c.armKeepAlive()
 			if c.OnEstablished != nil {
@@ -536,6 +559,9 @@ func (c *Conn) teardown(err error) {
 	}
 	c.stack.removeConn(c)
 	c.stack.met.connClosed(err)
+	if c.stack.met.trace != nil {
+		c.trace("conn_closed", c.stack.met.host+":"+closeCause(err), int64(c.remote.Port))
+	}
 	if !c.notified && c.OnClose != nil {
 		c.notified = true
 		c.OnClose(err)

@@ -94,6 +94,10 @@ type stackMetrics struct {
 	oooDepth      *obs.Gauge
 	connsOpened   *obs.Counter
 	closedByCause map[string]*obs.Counter
+	// trace is nil unless the registry's trace ring is enabled, so the
+	// per-event emission sites pay one branch when tracing is off.
+	trace *obs.Trace
+	host  string
 }
 
 // Instrument registers the stack's metrics with reg, labeled by host:
@@ -106,6 +110,11 @@ type stackMetrics struct {
 //	tcpsim_conns_opened_total{host}
 //	tcpsim_conns_closed_total{host,cause}
 //	    cause: graceful | timeout | keepalive_timeout | reset | aborted
+//
+// When the registry's trace ring is enabled the stack also emits "tcpsim"
+// trace events: conn_established, conn_closed, rto_fired, ka_probe and
+// spoofed_ack (a bare ACK sent from an address that is not the host's own
+// — the split-connection attacker acknowledging on a victim's behalf).
 func (s *Stack) Instrument(reg *obs.Registry, host string) {
 	l := obs.L("host", host)
 	s.met = stackMetrics{
@@ -116,9 +125,28 @@ func (s *Stack) Instrument(reg *obs.Registry, host string) {
 		oooDepth:      reg.Gauge("tcpsim_ooo_queue_depth", l),
 		connsOpened:   reg.Counter("tcpsim_conns_opened_total", l),
 		closedByCause: make(map[string]*obs.Counter),
+		host:          host,
+	}
+	if tr := reg.Trace(); tr.Enabled() {
+		s.met.trace = tr
 	}
 	for _, cause := range []string{"graceful", "timeout", "keepalive_timeout", "reset", "aborted"} {
 		s.met.closedByCause[cause] = reg.Counter("tcpsim_conns_closed_total", l, obs.L("cause", cause))
+	}
+}
+
+func closeCause(err error) string {
+	switch {
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	case errors.Is(err, ErrKeepAliveTimeout):
+		return "keepalive_timeout"
+	case errors.Is(err, ErrReset):
+		return "reset"
+	case err != nil:
+		return "aborted"
+	default:
+		return "graceful"
 	}
 }
 
@@ -126,18 +154,7 @@ func (m stackMetrics) connClosed(err error) {
 	if m.closedByCause == nil {
 		return
 	}
-	cause := "graceful"
-	switch {
-	case errors.Is(err, ErrTimeout):
-		cause = "timeout"
-	case errors.Is(err, ErrKeepAliveTimeout):
-		cause = "keepalive_timeout"
-	case errors.Is(err, ErrReset):
-		cause = "reset"
-	case err != nil:
-		cause = "aborted"
-	}
-	m.closedByCause[cause].Inc()
+	m.closedByCause[closeCause(err)].Inc()
 }
 
 // NewStack creates a TCP layer bound to an IP stack and registers itself as

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/tcpsim"
 )
@@ -93,6 +94,9 @@ type Conn struct {
 	rbuf         []byte
 	alertsRaised int
 
+	trace *obs.Trace
+	label string
+
 	// OnEstablished fires when the handshake completes.
 	OnEstablished func()
 	// OnMessage delivers one decrypted application message per record.
@@ -134,6 +138,24 @@ func newConn(tcp *tcpsim.Conn, rng *simtime.Rand, isClient bool) *Conn {
 
 // TCP returns the underlying transport connection.
 func (c *Conn) TCP() *tcpsim.Conn { return c.tcp }
+
+// Instrument attaches a trace ring so the connection emits "tlssim" events
+// (handshake, per-record seq-check pass/fail, alerts), labeled by the
+// endpoint's name. A nil or disabled trace keeps the connection silent.
+func (c *Conn) Instrument(tr *obs.Trace, label string) {
+	if !tr.Enabled() {
+		return
+	}
+	c.trace = tr
+	c.label = label
+}
+
+func (c *Conn) emit(event, detail string, value int64) {
+	if c.trace == nil {
+		return
+	}
+	c.trace.Emit(c.tcp.Clock().Now(), "tlssim", event, detail, value)
+}
 
 // Established reports whether the handshake has completed.
 func (c *Conn) Established() bool { return c.established }
@@ -199,6 +221,9 @@ func (c *Conn) processRecord(typ RecordType, body []byte) {
 	case RecordApplication:
 		c.processApplication(body)
 	case RecordAlert:
+		if c.trace != nil {
+			c.emit("alert_received", c.label+":"+string(body), 0)
+		}
 		c.tcp.Close()
 		c.teardown(&AlertReceivedError{Description: string(body)})
 	default:
@@ -231,6 +256,7 @@ func (c *Conn) processHandshake(body []byte) {
 		return
 	}
 	c.established = true
+	c.emit("handshake", c.label, 0)
 	if c.OnEstablished != nil {
 		c.OnEstablished()
 	}
@@ -290,9 +316,15 @@ func (c *Conn) processApplication(body []byte) {
 	aad := additionalData(RecordApplication, c.recvSeq, len(body))
 	plain, err := c.recvAEAD.Open(nil, nonce, body, aad)
 	if err != nil {
+		// Seq-check / authentication failure: a delayed record delivered
+		// out of its original order lands here and raises an alert.
+		c.emit("record_bad", c.label, int64(c.recvSeq))
 		c.fail("bad_record_mac")
 		return
 	}
+	// Seq-check pass: the record arrived in its original order, so a
+	// phantom-delayed release verifies cleanly.
+	c.emit("record_ok", c.label, int64(c.recvSeq))
 	c.recvSeq++
 	if c.OnMessage != nil {
 		c.OnMessage(plain)
@@ -303,6 +335,9 @@ func (c *Conn) processApplication(body []byte) {
 // the loud, detectable outcome the paper's attack never produces.
 func (c *Conn) fail(desc string) {
 	c.alertsRaised++
+	if c.trace != nil {
+		c.emit("alert_raised", c.label+":"+desc, 0)
+	}
 	_ = c.tcp.Send(plainRecord(RecordAlert, []byte(desc)))
 	c.tcp.Close()
 	c.teardown(fmt.Errorf("%w (%s)", ErrBadRecord, desc))
