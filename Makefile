@@ -1,6 +1,15 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench
+# Perf-regression harness knobs (see DESIGN.md §9). BENCH_OUT is where
+# `bench-json` writes the canonical document; CI points it elsewhere so the
+# committed trajectory file is never clobbered by a run on foreign
+# hardware. BENCHTIME=1x gives a fast smoke recording.
+BENCHTIME ?= 2s
+BENCH_OUT ?= BENCH_hotpath.json
+BENCH_PKGS = . ./internal/simtime ./internal/tcpsim
+BENCH_MATCH = ^(BenchmarkTableICloudDevices|BenchmarkTableIIIPoCCases|BenchmarkSimulatedHomeHour|BenchmarkFleetCampaign|BenchmarkTimerChurn|BenchmarkTimerReset|BenchmarkRTORearm)$$
+
+.PHONY: all build vet test race verify bench bench-json bench-check
 
 all: verify
 
@@ -22,3 +31,16 @@ verify: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-json records the tier-1 hot-path benchmarks as a byte-stable JSON
+# document. The committed BENCH_hotpath.json is the perf trajectory;
+# bench-check diffs a fresh recording against it. On foreign hardware
+# (CI), compare with `-ci`: timing is machine-bound, allocation counts
+# are not.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_MATCH)' -benchmem -benchtime $(BENCHTIME) $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+
+bench-check:
+	$(MAKE) bench-json BENCH_OUT=/tmp/bench-current.json
+	$(GO) run ./cmd/benchjson -compare BENCH_hotpath.json -current /tmp/bench-current.json

@@ -19,6 +19,8 @@
 //	-metrics-format X  metrics encoding: json (default) or openmetrics
 //	-trace F           write the run's attack flight-recorder timeline to F
 //	-trace-format X    trace encoding: chrome (default, Perfetto-loadable) or text
+//	-cpuprofile F      write a CPU profile of the run to F (go tool pprof)
+//	-memprofile F      write a heap profile taken at exit to F
 package main
 
 import (
@@ -26,6 +28,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -50,6 +54,19 @@ var (
 // that a whole table row survives without eviction, small enough to stay
 // cheap.
 const cliTraceCap = 65536
+
+// writeHeapProfile records an end-of-run allocation profile. A GC first
+// makes the live-heap numbers exact rather than whatever the last cycle
+// left behind.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
 
 func supports(cmds []string, cmd string) bool {
 	for _, c := range cmds {
@@ -78,8 +95,31 @@ func run(args []string) error {
 	metricsFormat := fs.String("metrics-format", "json", "metrics encoding: json or openmetrics")
 	traceOut := fs.String("trace", "", "write attack flight-recorder timeline to this file ("+strings.Join(traceCommands, "/")+")")
 	traceFormat := fs.String("trace-format", "chrome", "trace encoding: chrome (Perfetto-loadable) or text")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "phantomlab: -memprofile:", err)
+			}
+		}()
 	}
 	switch *metricsFormat {
 	case "json", "openmetrics":

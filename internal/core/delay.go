@@ -120,12 +120,21 @@ func (h *Hijacker) opsPolicy(b *Bridge, r RecordInfo) Decision {
 	return Forward
 }
 
+// armRelease (re)schedules the op's release at the given instant, reusing
+// the op's timer allocation across rearms.
+func (op *DelayOp) armRelease(at simtime.Time) {
+	if op.relTimer == nil {
+		op.relTimer = op.h.atk.Clock.NewTimer(op.Release)
+	}
+	op.relTimer.ResetAt(at)
+}
+
 func (h *Hijacker) scheduleRelease(op *DelayOp, cr ClassifiedRecord) {
 	switch {
 	case op.manual:
 		// Caller releases.
 	case op.holdFor > 0:
-		op.relTimer = h.atk.Clock.Schedule(op.holdFor, op.Release)
+		op.armRelease(h.atk.Clock.Now() + op.holdFor)
 	case op.margin > 0:
 		kind := sniff.KindEvent
 		if cr.Known {
@@ -144,10 +153,10 @@ func (h *Hijacker) scheduleRelease(op *DelayOp, cr ClassifiedRecord) {
 			// The margin consumes the whole window: release as soon as the
 			// record has been enqueued (never synchronously from inside the
 			// policy, which runs before the record joins the hold queue).
-			op.relTimer = h.atk.Clock.Schedule(0, op.Release)
+			op.armRelease(h.atk.Clock.Now())
 			return
 		}
-		op.relTimer = h.atk.Clock.At(releaseAt, op.Release)
+		op.armRelease(releaseAt)
 	}
 }
 

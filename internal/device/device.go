@@ -329,7 +329,10 @@ func (d *Device) onClosed(reason proto.CloseReason) {
 			d.logf("cellular-activated", "wifi path failed %d times", d.failedConnects)
 		}
 	}
-	d.reconnect = d.env.Clock.Schedule(d.profile.ReconnectDelay, d.Start)
+	if d.reconnect == nil {
+		d.reconnect = d.env.Clock.NewTimer(d.Start)
+	}
+	d.reconnect.Reset(d.profile.ReconnectDelay)
 }
 
 // --- transport wiring ---

@@ -178,10 +178,10 @@ func (c *Client) Close() {
 }
 
 func (c *Client) armKeepAlive() {
-	if c.kaTimer != nil {
-		c.kaTimer.Stop()
+	if c.kaTimer == nil {
+		c.kaTimer = c.clk.NewTimer(c.sendKeepAlive)
 	}
-	c.kaTimer = c.clk.Schedule(c.cfg.KeepAlive, c.sendKeepAlive)
+	c.kaTimer.Reset(c.cfg.KeepAlive)
 }
 
 func (c *Client) sendKeepAlive() {

@@ -230,14 +230,14 @@ func (ss *Session) resetIdle() {
 	if ss.server.cfg.SessionIdleTimeout <= 0 {
 		return
 	}
-	if ss.idle != nil {
-		ss.idle.Stop()
+	if ss.idle == nil {
+		ss.idle = ss.server.clk.NewTimer(func() {
+			// Idle reaping is silent: no alarm (Finding 1).
+			ss.clean = true
+			ss.close()
+		})
 	}
-	ss.idle = ss.server.clk.Schedule(ss.server.cfg.SessionIdleTimeout, func() {
-		// Idle reaping is silent: no alarm (Finding 1).
-		ss.clean = true
-		ss.close()
-	})
+	ss.idle.Reset(ss.server.cfg.SessionIdleTimeout)
 }
 
 // close ends the session from the server side.

@@ -228,9 +228,7 @@ func (b *Broker) onSessionClosed(s *Session) {
 		return
 	}
 	s.closed = true
-	if s.deadline != nil {
-		s.deadline.Stop()
-	}
+	s.deadline.Stop()
 	if s.clientID == "" {
 		return
 	}
@@ -265,18 +263,23 @@ func (s *Session) send(pkt Packet, padTo int) {
 	_ = s.sess.Send(pkt.Marshal(padTo))
 }
 
+// resetDeadline pushes the enforcement deadline back on every client
+// packet. The alarm timer is allocated once per session and rearmed in
+// place; before Timer.Reset existed this path scheduled a fresh event per
+// packet and left the cancelled one tombstoned in the heap until its
+// grace deadline passed, retaining the session from the closure.
 func (s *Session) resetDeadline() {
 	if !s.broker.cfg.EnforceKeepAlive || s.keepAlive <= 0 {
 		return
 	}
-	if s.deadline != nil {
-		s.deadline.Stop()
+	if s.deadline == nil {
+		s.deadline = s.broker.clk.NewTimer(func() {
+			s.broker.raiseAlarm(s.clientID, "device-offline", "keep-alive deadline missed")
+			s.close(true)
+		})
 	}
 	grace := time.Duration(float64(s.keepAlive) * s.broker.cfg.GraceFactor)
-	s.deadline = s.broker.clk.Schedule(grace, func() {
-		s.broker.raiseAlarm(s.clientID, "device-offline", "keep-alive deadline missed")
-		s.close(true)
-	})
+	s.deadline.Reset(grace)
 }
 
 // close ends the session from the broker side.
@@ -284,6 +287,10 @@ func (s *Session) close(abort bool) {
 	if s.closed {
 		return
 	}
+	// The enforcement alarm must not outlive the session: a clean
+	// DISCONNECT arrives through onMessage, which just rearmed the
+	// deadline via resetDeadline.
+	s.deadline.Stop()
 	if abort {
 		s.sess.Close()
 	} else {

@@ -182,11 +182,13 @@ func (c *Client) send(pkt Packet, padTo int) {
 	}
 }
 
+// armPing pushes the next ping one keep-alive period out. On-idle
+// sessions rearm on every send, so the timer is reused, not reallocated.
 func (c *Client) armPing() {
-	if c.pingTimer != nil {
-		c.pingTimer.Stop()
+	if c.pingTimer == nil {
+		c.pingTimer = c.clk.NewTimer(c.sendPing)
 	}
-	c.pingTimer = c.clk.Schedule(c.cfg.KeepAlive, c.sendPing)
+	c.pingTimer.Reset(c.cfg.KeepAlive)
 }
 
 func (c *Client) sendPing() {
@@ -195,11 +197,14 @@ func (c *Client) sendPing() {
 	}
 	c.send(Packet{Type: PacketPingReq}, c.cfg.PingLen)
 	c.emit("ka_sent", c.cfg.ClientID, 0)
-	if c.pingDeadline == nil || !c.pingDeadline.Active() {
-		c.pingDeadline = c.clk.Schedule(c.cfg.PingTimeout, func() {
+	if c.pingDeadline == nil {
+		c.pingDeadline = c.clk.NewTimer(func() {
 			c.emit("ka_timeout", c.cfg.ClientID, 0)
 			c.shutdown(proto.ReasonKeepAliveTimeout)
 		})
+	}
+	if !c.pingDeadline.Active() {
+		c.pingDeadline.Reset(c.cfg.PingTimeout)
 	}
 	// Both patterns schedule the next ping one period out; on-idle sessions
 	// additionally push it back on every send (see send).
@@ -263,12 +268,8 @@ func (c *Client) teardown(reason proto.CloseReason) {
 	}
 	c.closed = true
 	c.connected = false
-	if c.pingTimer != nil {
-		c.pingTimer.Stop()
-	}
-	if c.pingDeadline != nil {
-		c.pingDeadline.Stop()
-	}
+	c.pingTimer.Stop()
+	c.pingDeadline.Stop()
 	for id, t := range c.ackDeadlines {
 		t.Stop()
 		delete(c.ackDeadlines, id)

@@ -1,0 +1,37 @@
+package mqttsim
+
+import (
+	"testing"
+	"time"
+)
+
+// Regression test for the enforcement-deadline leak: a clean DISCONNECT
+// rearms the session's keep-alive deadline (the DISCONNECT packet itself
+// passes through resetDeadline) just before the session closes. The close
+// path must stop that alarm; before eager heap removal the cancelled event
+// also lingered in the queue — retaining the session — until the grace
+// deadline passed. After the teardown settles, the clock must hold no
+// events at all.
+func TestCleanDisconnectLeavesNoPendingEvents(t *testing.T) {
+	e := newEnv(BrokerConfig{EnforceKeepAlive: true})
+	cli := e.dial(defaultCfg())
+	e.clk.RunFor(time.Second)
+	if !cli.Connected() {
+		t.Fatal("client never connected")
+	}
+
+	cli.Disconnect()
+	// Long enough for the FIN exchange and any (leaked) grace deadline
+	// (1.5 × 31s) to surface, short of nothing else.
+	e.clk.RunFor(2 * time.Minute)
+
+	if n := e.clk.Pending(); n != 0 {
+		t.Fatalf("clock has %d pending events after clean disconnect, want 0 (leaked timer?)", n)
+	}
+	if got := len(e.broker.Alarms()); got != 0 {
+		t.Fatalf("clean disconnect raised %d alarms: %v", got, e.broker.Alarms())
+	}
+	if s, ok := e.broker.ActiveSession("dev-1"); ok {
+		t.Fatalf("broker still holds active session %v after disconnect", s.ClientID())
+	}
+}

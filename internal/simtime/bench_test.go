@@ -1,0 +1,57 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTimerChurn models the Stop+Schedule rearm pattern over a fleet
+// of connections: each operation cancels a pending timer and schedules a
+// replacement, with the clock advancing once per sweep so deadlines pass
+// and the queue reaches steady state. Before index-tracked removal,
+// cancelled events lingered as heap tombstones that every subsequent
+// O(log n) push/pop paid for; with true removal the heap holds only live
+// events.
+func BenchmarkTimerChurn(b *testing.B) {
+	clk := NewClock()
+	const conns = 1024
+	nop := func() {}
+	timers := make([]*Timer, conns)
+	for i := range timers {
+		timers[i] = clk.Schedule(10*time.Millisecond, nop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % conns
+		timers[j].Stop()
+		timers[j] = clk.Schedule(10*time.Millisecond, nop)
+		if j == conns-1 {
+			clk.RunFor(time.Millisecond)
+		}
+	}
+}
+
+// BenchmarkTimerReset is BenchmarkTimerChurn on the alloc-free path: the
+// same fleet of deadlines, each rearmed in place instead of being
+// cancelled and replaced. This is the upgraded idiom every protocol
+// rearm site (RTO, keep-alive, broker deadline) now uses.
+func BenchmarkTimerReset(b *testing.B) {
+	clk := NewClock()
+	const conns = 1024
+	nop := func() {}
+	timers := make([]*Timer, conns)
+	for i := range timers {
+		timers[i] = clk.NewTimer(nop)
+		timers[i].Reset(10 * time.Millisecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % conns
+		timers[j].Reset(10 * time.Millisecond)
+		if j == conns-1 {
+			clk.RunFor(time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Regression test for the tombstone-accounting bug: the queue-depth gauge
+// used to report len(heap) including cancelled events, so a workload that
+// schedules and stops N timers looked like N queued events. Stopped timers
+// now leave the heap immediately and the gauge tracks live events only.
+func TestQueueDepthGaugeCountsLiveEventsOnly(t *testing.T) {
+	c := NewClock()
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+
+	timers := make([]*Timer, 10)
+	for i := range timers {
+		timers[i] = c.Schedule(time.Duration(i+1)*time.Second, func() {})
+	}
+	g := reg.Gauge("simtime_queue_depth")
+	if g.Value() != 10 {
+		t.Fatalf("gauge after 10 schedules = %d, want 10", g.Value())
+	}
+	for _, tm := range timers[:7] {
+		tm.Stop()
+	}
+	if g.Value() != 3 {
+		t.Fatalf("gauge after stopping 7 of 10 = %d, want 3 (tombstones must not count)", g.Value())
+	}
+	if g.Max() != 10 {
+		t.Fatalf("gauge high-water mark = %d, want 10", g.Max())
+	}
+	c.Run()
+	if g.Value() != 0 {
+		t.Fatalf("gauge after drain = %d, want 0", g.Value())
+	}
+	if g.Max() != 10 {
+		t.Fatalf("gauge high-water after drain = %d, want 10", g.Max())
+	}
+}
+
+// Rearming in place must keep the gauge at the live count: a Reset of a
+// pending timer neither grows nor shrinks the queue.
+func TestQueueDepthGaugeStableAcrossReset(t *testing.T) {
+	c := NewClock()
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+	g := reg.Gauge("simtime_queue_depth")
+
+	tm := c.Schedule(time.Second, func() {})
+	c.Schedule(2*time.Second, func() {})
+	for i := 0; i < 100; i++ {
+		tm.Reset(time.Second)
+		if g.Value() != 2 {
+			t.Fatalf("gauge after reset %d = %d, want 2", i, g.Value())
+		}
+	}
+	if g.Max() != 2 {
+		t.Fatalf("gauge high-water = %d, want 2", g.Max())
+	}
+}
+
+// Property: Pending() (now an O(1) length read) always equals the number
+// of callbacks that a full Run still executes, across arbitrary
+// schedule/stop/reset interleavings.
+func TestPropertyPendingMatchesExecutedCallbacks(t *testing.T) {
+	f := func(delays []uint16, stopMask, resetMask uint32) bool {
+		c := NewClock()
+		ran := 0
+		timers := make([]*Timer, 0, len(delays))
+		for _, d := range delays {
+			dd := time.Duration(d) * time.Millisecond
+			timers = append(timers, c.Schedule(dd, func() { ran++ }))
+		}
+		live := len(timers)
+		for i, tm := range timers {
+			switch {
+			case stopMask&(1<<(uint(i)%32)) != 0:
+				tm.Stop()
+				live--
+			case resetMask&(1<<(uint(i)%32)) != 0:
+				// A reset of a pending timer keeps it live.
+				tm.Reset(time.Duration(i) * time.Millisecond)
+			}
+		}
+		if c.Pending() != live {
+			return false
+		}
+		c.Run()
+		return ran == live && c.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The steady-state rescheduling paths — an RTO rearmed on every ACK, a
+// broker deadline pushed back on every packet — must not allocate. Reset
+// of a pending timer is a heap fix of the existing event; Reset of a fired
+// timer re-pushes the same event into slack the drain just freed.
+func TestTimerResetSteadyStateAllocFree(t *testing.T) {
+	c := NewClock()
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+
+	// Background events so the heap is non-trivial.
+	for i := 0; i < 64; i++ {
+		c.Schedule(time.Duration(i+1)*time.Hour, func() {})
+	}
+
+	pending := c.NewTimer(func() {})
+	pending.Reset(30 * time.Minute)
+	if n := testing.AllocsPerRun(1000, func() {
+		pending.Reset(30 * time.Minute)
+	}); n != 0 {
+		t.Fatalf("Reset of a pending timer allocates %.1f per op, want 0", n)
+	}
+
+	fired := c.NewTimer(func() {})
+	if n := testing.AllocsPerRun(1000, func() {
+		fired.Reset(0)
+		c.Step() // fires `fired`: it is the only event due now
+	}); n != 0 {
+		t.Fatalf("fire/rearm cycle allocates %.1f per op, want 0", n)
+	}
+
+	if n := testing.AllocsPerRun(1000, func() {
+		pending.Stop()
+		pending.Reset(30 * time.Minute)
+	}); n != 0 {
+		t.Fatalf("stop/rearm cycle allocates %.1f per op, want 0", n)
+	}
+}

@@ -62,9 +62,14 @@ func (c *Clock) Now() Time { return c.now }
 //	simtime_events_total     counter — events executed
 //	simtime_runs_total       counter — Run/RunUntil/RunFor calls
 //	simtime_run_steps        histogram — events executed per run call
-//	simtime_queue_depth      gauge — pending events (Max is the high-water
-//	                         mark; the value updates on schedule and at the
-//	                         end of each run call, not on every pop)
+//	simtime_queue_depth      gauge — live scheduled events (Max is the
+//	                         high-water mark; the value updates on
+//	                         schedule, stop/reset and at the end of each
+//	                         run call, not on every pop)
+//
+// Stopped timers leave the heap immediately, so the gauge never counts
+// cancelled events — a fleet that schedules and stops N keep-alive
+// deadlines reports the live residue, not N.
 //
 // The hot-path cost is one counter increment per event and one gauge
 // update per schedule; see BenchmarkClockInstrumentationOverhead.
@@ -123,19 +128,16 @@ func (c *Clock) Step() bool {
 }
 
 func (c *Clock) step() bool {
-	for c.events.Len() > 0 {
-		ev, ok := heap.Pop(&c.events).(*event)
-		if !ok {
-			panic("simtime: corrupt event heap")
-		}
-		if ev.cancelled {
-			continue
-		}
-		c.now = ev.when
-		c.runEvent(ev)
-		return true
+	if c.events.Len() == 0 {
+		return false
 	}
-	return false
+	ev, ok := heap.Pop(&c.events).(*event)
+	if !ok {
+		panic("simtime: corrupt event heap")
+	}
+	c.now = ev.when
+	c.runEvent(ev)
+	return true
 }
 
 // startRun opens a runaway-guard window: the step counter restarts so the
@@ -149,8 +151,9 @@ func (c *Clock) finishRun() {
 	c.running = false
 	c.mRuns.Inc()
 	c.mRunSteps.Observe(float64(c.steps))
-	// Depth only grows on push, so the high-water mark is maintained there;
-	// the current value is refreshed here, off the per-event path.
+	// Depth only grows on push, so the high-water mark is maintained there
+	// (and on stop/reset); the current value is refreshed here, off the
+	// per-event pop path.
 	c.mQueueHWM.Set(int64(len(c.events)))
 }
 
@@ -185,15 +188,11 @@ func (c *Clock) RunFor(d time.Duration) {
 	c.RunUntil(c.now + d)
 }
 
-// Pending reports the number of scheduled, uncancelled events.
+// Pending reports the number of scheduled, uncancelled events. Stopped
+// timers are removed from the heap eagerly, so this is the heap size —
+// O(1), where it used to scan past tombstones.
 func (c *Clock) Pending() int {
-	n := 0
-	for _, ev := range c.events {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
+	return len(c.events)
 }
 
 // NextEventAt returns the timestamp of the next pending event and whether
@@ -207,15 +206,10 @@ func (c *Clock) NextEventAt() (Time, bool) {
 }
 
 func (c *Clock) peek() *event {
-	for c.events.Len() > 0 {
-		ev := c.events[0]
-		if ev.cancelled {
-			heap.Pop(&c.events)
-			continue
-		}
-		return ev
+	if c.events.Len() == 0 {
+		return nil
 	}
-	return nil
+	return c.events[0]
 }
 
 func (c *Clock) runEvent(ev *event) {
@@ -232,6 +226,18 @@ func (c *Clock) runEvent(ev *event) {
 	ev.fn()
 }
 
+// NewTimer returns an unarmed timer bound to fn. Reset (or ResetAt) arms
+// it. The timer owns one event allocation for its whole life and every
+// rearm reuses it, so steady-state rescheduling — an RTO rearmed on every
+// ACK, a broker deadline pushed back on every packet — allocates nothing.
+// See TestTimerResetSteadyStateAllocFree.
+func (c *Clock) NewTimer(fn func()) *Timer {
+	if fn == nil {
+		panic("simtime: NewTimer called with nil callback")
+	}
+	return &Timer{clock: c, ev: &event{fn: fn, index: -1}}
+}
+
 // Timer is a handle to a scheduled callback.
 type Timer struct {
 	clock *Clock
@@ -240,12 +246,62 @@ type Timer struct {
 
 // Stop cancels the callback. It reports whether the callback was still
 // pending (false if it already ran or was already stopped).
+//
+// Stopping removes the event from the heap immediately (O(log n)) instead
+// of tombstoning it, so churn-heavy workloads — every ACK rearming an RTO,
+// every packet pushing back a keep-alive deadline — keep the heap at its
+// live size rather than bloating every later push and pop.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.done {
+	if t == nil || t.ev == nil || t.ev.index < 0 {
 		return false
 	}
-	t.ev.cancelled = true
+	c := t.clock
+	heap.Remove(&c.events, t.ev.index)
+	c.mQueueHWM.Set(int64(len(c.events)))
 	return true
+}
+
+// Reset reschedules the timer's callback to fire after delay d, reusing
+// the timer's event allocation. It works on any timer — still pending
+// (rescheduled in place via an O(log n) heap fix), already fired, stopped,
+// or fresh from NewTimer (re-armed) — and reports whether the timer was
+// still pending, mirroring time.Timer.Reset.
+//
+// A non-positive delay schedules the callback at the current instant; it
+// still runs after the current callback returns. Ordering matches a
+// Stop-then-Schedule pair exactly: the rearmed event goes behind every
+// event already scheduled for the same instant.
+func (t *Timer) Reset(d time.Duration) bool {
+	if t == nil || t.ev == nil {
+		return false
+	}
+	if d < 0 {
+		d = 0
+	}
+	return t.ResetAt(t.clock.now + d)
+}
+
+// ResetAt is Reset with an absolute virtual time: the callback fires at
+// instant at (clamped to the current instant if in the past).
+func (t *Timer) ResetAt(at Time) bool {
+	if t == nil || t.ev == nil {
+		return false
+	}
+	c := t.clock
+	if at < c.now {
+		at = c.now
+	}
+	ev := t.ev
+	ev.when = at
+	ev.seq = c.seq
+	c.seq++
+	if ev.index >= 0 {
+		heap.Fix(&c.events, ev.index)
+		return true
+	}
+	heap.Push(&c.events, ev)
+	c.mQueueHWM.Set(int64(len(c.events)))
+	return false
 }
 
 // When returns the virtual time the callback is (or was) scheduled for,
@@ -259,15 +315,18 @@ func (t *Timer) When() Time {
 
 // Active reports whether the callback is still pending.
 func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.done
+	return t != nil && t.ev != nil && t.ev.index >= 0
 }
 
 type event struct {
-	when      Time
-	seq       uint64
-	fn        func()
-	cancelled bool
-	done      bool
+	when Time
+	seq  uint64
+	fn   func()
+	// index is the event's position in the clock's heap, maintained by the
+	// heap callbacks; -1 when not scheduled (unarmed, ran, or stopped).
+	// Tracking it is what lets Timer.Stop remove in O(log n) and
+	// Timer.Reset rearm in place without allocating.
+	index int
 }
 
 type eventHeap []*event
@@ -281,13 +340,18 @@ func (h eventHeap) Less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
 
 func (h *eventHeap) Push(x any) {
 	ev, ok := x.(*event)
 	if !ok {
 		panic("simtime: push of non-event")
 	}
+	ev.index = len(*h)
 	*h = append(*h, ev)
 }
 
@@ -297,6 +361,6 @@ func (h *eventHeap) Pop() any {
 	ev := old[n-1]
 	old[n-1] = nil
 	*h = old[:n-1]
-	ev.done = true
+	ev.index = -1
 	return ev
 }

@@ -3,8 +3,10 @@ package simtime
 import "time"
 
 // Ticker invokes a callback at a fixed virtual-time period until stopped.
+// It owns a single reusable timer, so a long-running ticker (an ARP
+// re-poisoning loop, an RTT-monitor poll) allocates once at creation and
+// never again.
 type Ticker struct {
-	clock  *Clock
 	period time.Duration
 	fn     func()
 	timer  *Timer
@@ -17,29 +19,28 @@ func NewTicker(c *Clock, period time.Duration, fn func()) *Ticker {
 	if period <= 0 {
 		panic("simtime: ticker period must be positive")
 	}
-	t := &Ticker{clock: c, period: period, fn: fn}
-	t.arm()
+	t := &Ticker{period: period, fn: fn}
+	t.timer = c.NewTimer(t.tick)
+	t.timer.Reset(period)
 	return t
 }
 
-func (t *Ticker) arm() {
-	t.timer = t.clock.Schedule(t.period, func() {
-		if t.stop {
-			return
-		}
-		t.fn()
-		if !t.stop {
-			t.arm()
-		}
-	})
+func (t *Ticker) tick() {
+	if t.stop {
+		return
+	}
+	t.fn()
+	// fn may have stopped the ticker or rescheduled it via Reset; only
+	// rearm when neither happened.
+	if !t.stop && !t.timer.Active() {
+		t.timer.Reset(t.period)
+	}
 }
 
 // Stop cancels future invocations.
 func (t *Ticker) Stop() {
 	t.stop = true
-	if t.timer != nil {
-		t.timer.Stop()
-	}
+	t.timer.Stop()
 }
 
 // Reset restarts the period from the current instant, delaying the next
@@ -48,10 +49,7 @@ func (t *Ticker) Reset() {
 	if t.stop {
 		return
 	}
-	if t.timer != nil {
-		t.timer.Stop()
-	}
-	t.arm()
+	t.timer.Reset(t.period)
 }
 
 // Period returns the ticker's period.

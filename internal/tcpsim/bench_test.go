@@ -1,0 +1,44 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkRTORearm measures the ACK hot path: every data segment arms the
+// retransmission timer and every acknowledgement rearms it, with keep-alive
+// rearming on top — the per-packet timer churn that dominates fleet-scale
+// simulation (IoT traffic is overwhelmingly periodic keep-alive exchanges).
+// Ten pipelined segments per round keep the retransmission queue non-empty
+// across ACKs, so the rearm-under-load branch is exercised, not just the
+// queue-drained early return.
+func BenchmarkRTORearm(b *testing.B) {
+	e := newEnv(Config{
+		EnableKeepAlive: true,
+		KeepAliveIdle:   30 * time.Second,
+	})
+	var srvConn *Conn
+	if _, err := e.server.Listen(443, func(c *Conn) { srvConn = c }); err != nil {
+		b.Fatal(err)
+	}
+	cli := e.client.Dial(Endpoint{Addr: e.serverAddr(), Port: 443})
+	e.clk.RunFor(time.Second)
+	if srvConn == nil || cli.State() != StateEstablished {
+		b.Fatal("handshake did not complete")
+	}
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 10; j++ {
+			if err := cli.Send(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		e.clk.RunFor(20 * time.Millisecond)
+	}
+	b.StopTimer()
+	if cli.Stats().Retransmits != 0 {
+		b.Fatalf("lossless bench saw %d retransmits", cli.Stats().Retransmits)
+	}
+}

@@ -283,21 +283,22 @@ func (c *Conn) sendAck() {
 
 // --- retransmission timer ---
 
+// armRTO (re)arms the retransmission timer. The timer is allocated once
+// per connection and rearmed in place — this path runs on every ACK, and
+// a per-ACK allocation is exactly the scheduler churn fleet-scale
+// campaigns choke on.
 func (c *Conn) armRTO() {
 	if len(c.rtxq) == 0 {
 		return
 	}
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
+	if c.rtxTimer == nil {
+		c.rtxTimer = c.stack.clk.NewTimer(c.onRTO)
 	}
-	c.rtxTimer = c.stack.clk.Schedule(c.rto, c.onRTO)
+	c.rtxTimer.Reset(c.rto)
 }
 
 func (c *Conn) stopRTO() {
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-		c.rtxTimer = nil
-	}
+	c.rtxTimer.Stop()
 	if c.retries > 0 {
 		// An ACK made progress while backoff was in flight: the exponential
 		// backoff state is abandoned — the alarm the phantom-delay attack
@@ -324,7 +325,7 @@ func (c *Conn) onRTO() {
 	if c.rto > c.stack.cfg.RTOMax {
 		c.rto = c.stack.cfg.RTOMax
 	}
-	c.rtxTimer = c.stack.clk.Schedule(c.rto, c.onRTO)
+	c.rtxTimer.Reset(c.rto)
 }
 
 // --- keep-alive timer ---
@@ -337,11 +338,11 @@ func (c *Conn) armKeepAlive() {
 	if !c.stack.cfg.EnableKeepAlive {
 		return
 	}
-	if c.kaTimer != nil {
-		c.kaTimer.Stop()
+	if c.kaTimer == nil {
+		c.kaTimer = c.stack.clk.NewTimer(c.onKeepAlive)
 	}
 	c.kaProbes = 0
-	c.kaTimer = c.stack.clk.Schedule(c.stack.cfg.KeepAliveIdle, c.onKeepAlive)
+	c.kaTimer.Reset(c.stack.cfg.KeepAliveIdle)
 }
 
 func (c *Conn) onKeepAlive() {
@@ -351,7 +352,7 @@ func (c *Conn) onKeepAlive() {
 	idle := c.stack.clk.Now() - c.lastActivity
 	if idle < c.stack.cfg.KeepAliveIdle && c.kaProbes == 0 {
 		// Activity happened since arming; re-arm for the remainder.
-		c.kaTimer = c.stack.clk.Schedule(c.stack.cfg.KeepAliveIdle-idle, c.onKeepAlive)
+		c.kaTimer.Reset(c.stack.cfg.KeepAliveIdle - idle)
 		return
 	}
 	if c.kaProbes >= c.stack.cfg.KeepAliveProbes {
@@ -366,20 +367,25 @@ func (c *Conn) onKeepAlive() {
 	c.stack.sendRaw(c.local, c.remote, Segment{Seq: c.sndNxt - 1, Ack: c.rcvNxt, Flags: FlagACK})
 	c.stats.SegmentsSent++
 	c.stack.met.segmentsSent.Inc()
-	c.kaTimer = c.stack.clk.Schedule(c.stack.cfg.KeepAliveInterval, c.onKeepAlive)
+	c.kaTimer.Reset(c.stack.cfg.KeepAliveInterval)
 }
 
+// keepAliveSatisfied pushes the idle deadline back on every received
+// segment — the other per-packet rearm the phantom-delay attack's spoofed
+// ACKs keep exercising for hours of virtual time.
 func (c *Conn) keepAliveSatisfied() {
 	if !c.stack.cfg.EnableKeepAlive {
 		return
 	}
 	c.kaProbes = 0
-	if c.kaTimer != nil {
+	if c.state != StateEstablished {
 		c.kaTimer.Stop()
+		return
 	}
-	if c.state == StateEstablished {
-		c.kaTimer = c.stack.clk.Schedule(c.stack.cfg.KeepAliveIdle, c.onKeepAlive)
+	if c.kaTimer == nil {
+		c.kaTimer = c.stack.clk.NewTimer(c.onKeepAlive)
 	}
+	c.kaTimer.Reset(c.stack.cfg.KeepAliveIdle)
 }
 
 // --- inbound segment processing ---
@@ -551,12 +557,8 @@ func (c *Conn) teardown(err error) {
 	}
 	c.state = StateClosed
 	c.closedErr = err
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-	}
-	if c.kaTimer != nil {
-		c.kaTimer.Stop()
-	}
+	c.rtxTimer.Stop()
+	c.kaTimer.Stop()
 	c.stack.removeConn(c)
 	c.stack.met.connClosed(err)
 	if c.stack.met.trace != nil {
