@@ -9,7 +9,7 @@ BENCH_OUT ?= BENCH_hotpath.json
 BENCH_PKGS = . ./internal/simtime ./internal/tcpsim
 BENCH_MATCH = ^(BenchmarkTableICloudDevices|BenchmarkTableIIIPoCCases|BenchmarkSimulatedHomeHour|BenchmarkFleetCampaign|BenchmarkTimerChurn|BenchmarkTimerReset|BenchmarkRTORearm)$$
 
-.PHONY: all build vet test race verify bench bench-json bench-check
+.PHONY: all build vet lint test race verify bench bench-json bench-check
 
 all: verify
 
@@ -19,15 +19,24 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the phantomlint suite (internal/analysis: simdeterminism,
+# maporder, traceguard, timerguard) over the whole module. See DESIGN.md
+# §10 for what each analyzer enforces and the //lint:allow suppression
+# policy. Also usable as `go vet -vettool=$(go build -o /tmp/pl
+# ./cmd/phantomlint && echo /tmp/pl) ./...`.
+lint:
+	$(GO) run ./cmd/phantomlint ./...
+
 test:
 	$(GO) test ./...
 
-# The packages with real goroutine concurrency: the parallel table runner
-# and the obs snapshot/merge boundary it synchronises through.
+# The packages with real goroutine concurrency: the parallel table runner,
+# the obs snapshot/merge boundary it synchronises through, and the fleet
+# sharded worker pool.
 race:
-	$(GO) test -race ./internal/experiment/ ./internal/obs/
+	$(GO) test -race ./internal/experiment/ ./internal/obs/ ./internal/fleet/
 
-verify: build vet test race
+verify: build vet lint test race
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,117 @@
+// Command phantomlint runs the repository's custom determinism and
+// zero-tax-tracing analyzers (internal/analysis/...) over Go packages.
+//
+// Standalone (the mode verify.sh, make lint and CI use):
+//
+//	go run ./cmd/phantomlint ./...            # analyze everything
+//	go run ./cmd/phantomlint -run maporder ./internal/sniff/
+//	go run ./cmd/phantomlint -list            # describe the suite
+//
+// Exit status is 0 when no findings survive //lint:allow suppression,
+// 1 when findings are reported, 2 on usage or load errors.
+//
+// The binary also speaks the `go vet -vettool` unit-checker protocol
+// (see vettool.go):
+//
+//	go build -o /tmp/phantomlint ./cmd/phantomlint
+//	go vet -vettool=/tmp/phantomlint ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/simdeterminism"
+	"repro/internal/analysis/timerguard"
+	"repro/internal/analysis/traceguard"
+)
+
+// suite is the phantomlint analyzer set, in reporting order.
+var suite = []*analysis.Analyzer{
+	maporder.Analyzer,
+	simdeterminism.Analyzer,
+	timerguard.Analyzer,
+	traceguard.Analyzer,
+}
+
+func main() {
+	// The vet driver invokes the tool as `phantomlint -V=full` and then
+	// `phantomlint <file>.cfg`; detect that protocol before flag parsing
+	// so the standalone flags don't collide with vet's.
+	if vettoolMain(suite) {
+		return
+	}
+
+	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: phantomlint [-list] [-run name,name] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range suite {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*runFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phantomlint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phantomlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := load.Packages(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phantomlint:", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phantomlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Printf("%s: %s (%s)\n", f.Pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "phantomlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+	if names == "" {
+		return suite, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a := byName[n]
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (try -list)", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

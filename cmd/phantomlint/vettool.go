@@ -1,0 +1,182 @@
+// go vet -vettool support: the unit-checker protocol, stdlib-only.
+//
+// cmd/go drives a vettool in three steps:
+//
+//	tool -flags          → JSON description of the tool's flags
+//	tool -V=full         → version line mixed into the build cache key
+//	tool [-json] x.cfg   → analyze one package described by the JSON cfg
+//
+// The cfg names the package's Go files and maps its imports to compiled
+// export-data files from the build cache, which the stdlib gc importer
+// can read directly via a lookup function — so this mode needs neither
+// the source importer nor golang.org/x/tools. Dependency-only packages
+// arrive with VetxOnly=true and just need their facts output touched;
+// phantomlint's analyzers are fact-free, so that is the whole job.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// vetConfig is the package description cmd/go writes for a vettool. Field
+// set and meaning follow the x/tools unitchecker contract.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// vettoolMain detects and serves a vet-driver invocation. It returns true
+// when it handled the process (and may have exited), false when the
+// arguments are for the standalone CLI.
+func vettoolMain(suite []*analysis.Analyzer) bool {
+	args := os.Args[1:]
+	jsonOut := false
+	cfgPath := ""
+	for _, a := range args {
+		switch {
+		case a == "-V=full":
+			// The reported version feeds the build cache key; bump it when
+			// analyzer semantics change so cached vet verdicts invalidate.
+			fmt.Println("phantomlint version 1 suite=maporder,simdeterminism,timerguard,traceguard")
+			return true
+		case a == "-flags":
+			type flagDef struct {
+				Name  string
+				Bool  bool
+				Usage string
+			}
+			defs := []flagDef{
+				{Name: "V", Bool: false, Usage: "print version and exit"},
+				{Name: "flags", Bool: true, Usage: "print flags in JSON"},
+				{Name: "json", Bool: true, Usage: "emit JSON output"},
+			}
+			b, _ := json.Marshal(defs)
+			fmt.Println(string(b))
+			return true
+		case a == "-json":
+			jsonOut = true
+		case strings.HasSuffix(a, ".cfg"):
+			cfgPath = a
+		}
+	}
+	if cfgPath == "" {
+		return false
+	}
+	if err := runUnitchecker(cfgPath, jsonOut, suite); err != nil {
+		fmt.Fprintln(os.Stderr, "phantomlint:", err)
+		os.Exit(1)
+	}
+	return true
+}
+
+func runUnitchecker(cfgPath string, jsonOut bool, suite []*analysis.Analyzer) error {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+	// The driver expects a facts file for every package it schedules,
+	// dependencies included. Phantomlint's analyzers exchange no facts, so
+	// an empty file satisfies the contract.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil
+			}
+			return err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := load.NewInfo()
+	conf := types.Config{Importer: compilerImporter}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil
+		}
+		return fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	pkg := &analysis.Package{
+		ImportPath: cfg.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, suite)
+	if err != nil {
+		return err
+	}
+	if len(findings) == 0 {
+		return nil
+	}
+	if jsonOut {
+		// {"pkg": {"analyzer": [{"posn": ..., "message": ...}]}}
+		type jsonDiag struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		byAnalyzer := make(map[string][]jsonDiag)
+		for _, f := range findings {
+			byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], jsonDiag{Posn: f.Pos.String(), Message: f.Message})
+		}
+		out := map[string]map[string][]jsonDiag{cfg.ImportPath: byAnalyzer}
+		b, _ := json.MarshalIndent(out, "", "\t")
+		fmt.Println(string(b))
+		return nil
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", f.Pos, f.Message, f.Analyzer)
+	}
+	os.Exit(2)
+	return nil
+}

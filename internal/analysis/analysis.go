@@ -1,0 +1,133 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// The shapes (Analyzer, Pass, Diagnostic) deliberately mirror x/tools so
+// the phantomlint analyzers can be ported to the upstream framework by
+// swapping an import path once the module is allowed third-party
+// dependencies. Until then everything here builds on the standard
+// library's go/ast and go/types alone.
+//
+// The suite exists to machine-check the reproduction's two load-bearing
+// conventions (see DESIGN.md §10):
+//
+//   - determinism: results are pure functions of (seed, config), so
+//     simulation code must never read the wall clock, the global math/rand
+//     stream, or emit output in map-iteration order;
+//   - zero-tax tracing: obs.Trace emission goes through a handle captured
+//     at Instrument time and is nil/Enabled-guarded, so disabled tracing
+//     costs nothing on hot paths.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check: a name, documentation, and a Run
+// function applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// suppression comments. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description shown by `phantomlint -list`.
+	Doc string
+	// Run inspects the package behind pass and reports findings through
+	// pass.Report. The interface{} result mirrors x/tools (analyzers there
+	// can return facts); phantomlint analyzers return nil.
+	Run func(pass *Pass) (interface{}, error)
+}
+
+// Pass hands one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one finding. The driver applies //lint:allow
+	// suppression before surfacing it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos. It is the analyzers' usual entry point.
+func (p *Pass) Reportf(pos token.Pos, msg string) {
+	p.Report(Diagnostic{Pos: pos, Message: msg})
+}
+
+// Diagnostic is one finding: a position and a message.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a diagnostic resolved against its package and analyzer —
+// what the driver prints and what analysistest compares against
+// expectations.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Package is one loaded, type-checked package as produced by the load
+// subpackage (or synthesized by analysistest from a fixture directory).
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+}
+
+// Run applies each analyzer to each package and returns the surviving
+// findings ordered by file, line, column, then analyzer name. Findings
+// suppressed by a //lint:allow comment (see suppress.go) are dropped here,
+// so every driver — phantomlint, the vettool mode, analysistest — shares
+// one suppression semantics.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		allow := collectAllows(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				posn := pkg.Fset.Position(d.Pos)
+				if allow.suppressed(a.Name, posn) {
+					return
+				}
+				out = append(out, Finding{Analyzer: a.Name, Pos: posn, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool { return findingLess(fs[i], fs[j]) })
+}
+
+func findingLess(a, b Finding) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Analyzer < b.Analyzer
+}

@@ -1,0 +1,129 @@
+// Package load turns `go list` package patterns into type-checked
+// analysis.Packages using only the standard library: go list enumerates
+// the packages, go/parser parses them, and go/types checks them with the
+// stdlib source importer resolving imports (stdlib and module-local alike)
+// from source.
+//
+// This is the offline stand-in for golang.org/x/tools/go/packages, which
+// the module cannot vendor. Imports are always resolved through one shared
+// source-importer instance, so transitive dependencies are type-checked at
+// most once per Packages call and every import of a given path yields the
+// identical *types.Package.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+}
+
+// Packages loads, parses and type-checks the packages matched by patterns
+// (e.g. "./..."), resolving them relative to dir. Only non-test Go files
+// are analyzed: the determinism and tracing invariants govern simulation
+// code, and tests legitimately use wall-clock timeouts and ad-hoc output.
+func Packages(dir string, patterns ...string) ([]*analysis.Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*analysis.Package
+	for _, lp := range listed {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var out []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// check parses and type-checks one listed package against the shared
+// importer.
+func check(fset *token.FileSet, imp types.Importer, lp listedPackage) (*analysis.Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &analysis.Package{
+		ImportPath: lp.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// NewInfo allocates the types.Info maps the analyzers rely on. Shared with
+// analysistest so fixture packages carry the same resolution surface as
+// real ones.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}

@@ -1,0 +1,214 @@
+// Package maporder flags map iteration that feeds order-sensitive output.
+//
+// Go randomizes map iteration order per range statement, so any loop that
+// ranges over a map and writes to an ordered sink — appends to a slice
+// that is never sorted, writes into a strings.Builder/bytes.Buffer or an
+// io.Writer via fmt.Fprint*, encodes JSON, emits obs.Trace events, or
+// sends on a channel — produces different bytes on different runs. This is
+// exactly the bug class behind the PR 2 testbed-startup nondeterminism
+// (construction iterated a map) and the sniff.Capture.Flows ordering fixed
+// alongside this analyzer.
+//
+// Commutative writes are deliberately not sinks: assigning into another
+// map, deleting keys, stopping timers, bumping obs counters/gauges (which
+// sum), or pure reductions with explicit tie-breaking all yield the same
+// result whatever the visit order.
+//
+// The sanctioned collect-then-sort idiom is recognized: a loop whose only
+// sink is appending to a slice is clean if that slice is passed to a
+// sort.* or slices.Sort* call later in the same function.
+package maporder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astq"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops whose body feeds ordered output " +
+		"(slice appends without a later sort, builder/encoder writes, obs trace events, channel sends)",
+	Run: run,
+}
+
+// sortFuncs are the sort.* / slices.* entry points that launder a
+// map-order-filled slice into deterministic output.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Sort": true, "Stable": true, "Strings": true, "Ints": true,
+		"Float64s": true, "Slice": true, "SliceStable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		astq.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !rangesOverMap(pass.TypesInfo, rng) {
+				return true
+			}
+			checkRange(pass, rng, astq.EnclosingFunc(stack))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func rangesOverMap(info *types.Info, rng *ast.RangeStmt) bool {
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// deferredSink is one `s = append(s, ...)` found in a map-range body,
+// keyed by the rendered LHS expression.
+type deferredSink struct {
+	pos  token.Pos
+	text string
+}
+
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	var deferred []deferredSink
+	seen := map[string]bool{}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isAppend(pass.TypesInfo, call) || i >= len(s.Lhs) {
+					continue
+				}
+				lhs := s.Lhs[i]
+				// Appending into a map element (m[k] = append(m[k], ...))
+				// is a keyed, commutative write, not ordered output.
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if tv, ok := pass.TypesInfo.Types[idx.X]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							continue
+						}
+					}
+				}
+				text := types.ExprString(lhs)
+				if !seen[text] {
+					seen[text] = true
+					deferred = append(deferred, deferredSink{pos: s.Pos(), text: text})
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(s.Pos(),
+				"channel send inside range over map delivers values in nondeterministic order; iterate sorted keys")
+		case *ast.CallExpr:
+			if desc := orderedWriteDesc(pass.TypesInfo, s); desc != "" {
+				pass.Reportf(s.Pos(), fmt.Sprintf(
+					"%s inside range over map emits output in nondeterministic order; iterate sorted keys", desc))
+			}
+		}
+		return true
+	})
+
+	for _, d := range deferred {
+		if fnBody != nil && sortedLater(pass.TypesInfo, fnBody, rng.End(), d.text) {
+			continue
+		}
+		pass.Reportf(d.pos, fmt.Sprintf(
+			"%s accumulates map keys/values in nondeterministic order and is never sorted in this function; "+
+				"sort it (or iterate sorted keys) before it reaches ordered output", d.text))
+	}
+}
+
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// orderedWriteDesc classifies a call inside a map-range body as an ordered
+// write, returning a human description, or "" when the call is harmless.
+func orderedWriteDesc(info *types.Info, call *ast.CallExpr) string {
+	fn := astq.CalleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+		return "fmt." + fn.Name()
+	}
+	if astq.IsPkgFunc(fn, "io", "WriteString") {
+		return "io.WriteString"
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	switch {
+	case astq.NamedTypeIs(sig.Recv().Type(), "strings", "Builder") && strings.HasPrefix(fn.Name(), "Write"):
+		return "strings.Builder." + fn.Name()
+	case astq.NamedTypeIs(sig.Recv().Type(), "bytes", "Buffer") && strings.HasPrefix(fn.Name(), "Write"):
+		return "bytes.Buffer." + fn.Name()
+	case astq.NamedTypeIs(sig.Recv().Type(), "encoding/json", "Encoder") && fn.Name() == "Encode":
+		return "json.Encoder.Encode"
+	case astq.NamedTypeIs(sig.Recv().Type(), "repro/internal/obs", "Trace") &&
+		(fn.Name() == "Emit" || fn.Name() == "Add"):
+		return "obs.Trace." + fn.Name()
+	}
+	return ""
+}
+
+// sortedLater reports whether a sort.*/slices.Sort* call after pos in the
+// function body mentions sinkText in an argument.
+func sortedLater(info *types.Info, body *ast.BlockStmt, pos token.Pos, sinkText string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		fn := astq.CalleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		// A sort/Sort method invoked on the sink itself or on a container
+		// the sink is a field of (`out.sort()` covering `out.Counters`)
+		// also launders the order.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if fn.Name() == "sort" || fn.Name() == "Sort" {
+				recv := types.ExprString(sel.X)
+				if recv == sinkText || strings.HasPrefix(sinkText, recv+".") {
+					found = true
+					return false
+				}
+			}
+		}
+		names := sortFuncs[fn.Pkg().Path()]
+		if names == nil || !names[fn.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if strings.Contains(types.ExprString(arg), sinkText) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

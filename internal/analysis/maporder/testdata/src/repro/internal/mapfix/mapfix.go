@@ -1,0 +1,119 @@
+// Package mapfix exercises the maporder analyzer: ordered sinks fed in
+// map-iteration order are findings; commutative writes and the
+// collect-then-sort idiom are not.
+package mapfix
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Bad: keys accumulate in random order and are returned unsorted.
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `out accumulates map keys/values in nondeterministic order`
+	}
+	return out
+}
+
+// Good: the sanctioned collect-then-sort idiom.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Good: slices.Sort also counts as the later sort.
+func sortedValues(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	slices.Sort(vals)
+	return vals
+}
+
+// Bad: direct writes into ordered sinks inside the loop.
+func orderedWrites(m map[string]int, w io.Writer) string {
+	var b strings.Builder
+	var buf bytes.Buffer
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside range over map`
+		b.WriteString(k)                // want `strings\.Builder\.WriteString inside range over map`
+		buf.WriteByte(byte(v))          // want `bytes\.Buffer\.WriteByte inside range over map`
+	}
+	return b.String()
+}
+
+// Bad: trace events are ordered output (the flight recorder replays them).
+func traceEmit(m map[string]int, tr *obs.Trace) {
+	for k, v := range m {
+		if tr != nil {
+			tr.Emit(0, "fix", "ev", k, int64(v)) // want `obs\.Trace\.Emit inside range over map`
+		}
+	}
+}
+
+// Bad: channel sends deliver in random order.
+func chanSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside range over map`
+	}
+}
+
+// Good: commutative writes — map inserts, deletes, counter bumps.
+func commutative(m map[string]int, other map[string]int, c *obs.Counter) {
+	byLen := make(map[int][]string)
+	for k, v := range m {
+		other[k] = v
+		byLen[len(k)] = append(byLen[len(k)], k)
+		delete(m, k)
+		c.Add(uint64(v))
+	}
+}
+
+// Good: a pure reduction with explicit tie-breaking is order-independent.
+func reduction(m map[string]int) string {
+	best, bestN := "", -1
+	for k, v := range m {
+		if v > bestN || (v == bestN && k < best) {
+			best, bestN = k, v
+		}
+	}
+	return best
+}
+
+// snapshot mimics the obs.Snapshot container-sort idiom.
+type snapshot struct{ Names []string }
+
+func (s *snapshot) sort() { sort.Strings(s.Names) }
+
+// Good: a sort method on the container covers its accumulated fields.
+func containerSort(m map[string]int) snapshot {
+	var out snapshot
+	for k := range m {
+		out.Names = append(out.Names, k)
+	}
+	out.sort()
+	return out
+}
+
+// Good: justified suppression.
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:allow maporder -- fixture demonstrates suppression
+		out = append(out, k)
+	}
+	return out
+}

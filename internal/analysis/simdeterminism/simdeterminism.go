@@ -1,0 +1,133 @@
+// Package simdeterminism bans wall-clock and global-randomness escapes
+// from simulation code.
+//
+// Every result in this reproduction — the Table I/II/III numbers, fleet
+// checkpoints, Perfetto timelines — must be a pure function of
+// (seed, config). That only holds if simulation code reads time from
+// simtime.Clock and randomness from an explicitly seeded source. A single
+// time.Now() or global rand.Intn() silently re-introduces run-to-run
+// variance of exactly the kind that caused the PR 2 testbed-startup
+// nondeterminism. This analyzer makes the convention mechanical: inside
+// repro/internal/* simulation packages, any reference to a wall-clock
+// time function or a global math/rand function is a finding.
+//
+// Out of scope by design (the allowlist): cmd/* and examples/* (CLI
+// progress meters legitimately read real time), repro/internal/bench
+// (wall-clock benchmarking harness), repro/internal/analysis/* (the
+// linter itself), and _test.go files (tests may use real timeouts; the
+// standalone driver does not load them at all).
+package simdeterminism
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the simdeterminism check.
+var Analyzer = &analysis.Analyzer{
+	Name: "simdeterminism",
+	Doc: "ban wall-clock time and global math/rand in simulation packages; " +
+		"route time through simtime.Clock and randomness through a seeded source",
+	Run: run,
+}
+
+// wallClockFuncs are package time functions that read or wait on the real
+// clock. Referencing one from simulation code (even without calling it)
+// is a finding. time.Since/Until are included: both call time.Now.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// globalRandFuncs are the package-level math/rand (and math/rand/v2)
+// functions that draw from the shared global stream. Constructors
+// (New, NewSource, NewPCG, NewChaCha8, NewZipf) and methods on an
+// explicit *rand.Rand are fine — those are exactly what seeded simulation
+// randomness uses.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int32": true, "Int32N": true, "Int63": true, "Int63n": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint": true, "Uint32": true, "Uint32N": true, "Uint64": true,
+	"Uint64N": true, "UintN": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// allowedPrefixes exempt whole package subtrees from the check.
+var allowedPrefixes = []string{
+	"repro/cmd/",
+	"repro/examples/",
+	"repro/internal/bench",
+	"repro/internal/analysis",
+}
+
+// scoped reports whether the analyzer applies to the package at path.
+func scoped(path string) bool {
+	if !strings.HasPrefix(path, "repro/internal/") {
+		return false
+	}
+	for _, p := range allowedPrefixes {
+		if path == strings.TrimSuffix(p, "/") || strings.HasPrefix(path, p) ||
+			strings.HasPrefix(path, p+"/") {
+			return false
+		}
+	}
+	return true
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !scoped(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		// Defensive: the standalone driver never loads _test.go files, but
+		// fixture harnesses could.
+		if name := pass.Fset.Position(f.Pos()).Filename; strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			// Methods are fine: r.Intn on a seeded *rand.Rand is exactly
+			// the sanctioned idiom. Only package-level functions are
+			// wall-clock/global-stream reads.
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[obj.Name()] {
+					pass.Reportf(sel.Pos(), fmt.Sprintf(
+						"time.%s reads the wall clock: simulation results must be pure in (seed, config); use simtime.Clock",
+						obj.Name()))
+				}
+			case "math/rand", "math/rand/v2":
+				if globalRandFuncs[obj.Name()] {
+					pass.Reportf(sel.Pos(), fmt.Sprintf(
+						"global %s.%s draws from the shared random stream: use a seeded *rand.Rand (simtime.NewRand)",
+						obj.Pkg().Name(), obj.Name()))
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,11 @@
+// Package main exercises the simdeterminism allowlist: cmd/* binaries
+// may read real time (progress meters, ETAs) without findings.
+package main
+
+import "time"
+
+func main() {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	_ = time.Since(start)
+}

@@ -1,0 +1,52 @@
+// Package simfix exercises the simdeterminism analyzer: wall-clock and
+// global-rand escapes are findings; seeded randomness, virtual-time
+// arithmetic, and suppressed lines are not.
+package simfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad: every wall-clock read or wait is a finding.
+func wallClock() time.Duration {
+	start := time.Now()                 // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)        // want `time\.Sleep reads the wall clock`
+	<-time.After(time.Millisecond)      // want `time\.After reads the wall clock`
+	t := time.NewTimer(time.Second)     // want `time\.NewTimer reads the wall clock`
+	t.Stop()
+	_ = time.Tick                       // want `time\.Tick reads the wall clock`
+	return time.Since(start)            // want `time\.Since reads the wall clock`
+}
+
+// Bad: the global math/rand stream is shared, unseeded state.
+func globalRand() int {
+	f := rand.Float64() // want `global rand\.Float64 draws from the shared random stream`
+	_ = f
+	return rand.Intn(10) // want `global rand\.Intn draws from the shared random stream`
+}
+
+// Good: explicitly seeded sources and virtual-time arithmetic.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	d := 3 * time.Second
+	_ = d
+	return r.Intn(10)
+}
+
+// Good: a justified, narrowly suppressed use.
+func suppressed() time.Time {
+	//lint:allow simdeterminism -- fixture demonstrates suppression
+	return time.Now()
+}
+
+// Good: suppression on the same line.
+func suppressedSameLine() time.Time {
+	return time.Now() //lint:allow simdeterminism -- same-line form
+}
+
+// Bad: a suppression naming a different analyzer does not apply.
+func wrongSuppression() time.Time {
+	//lint:allow maporder -- names the wrong analyzer
+	return time.Now() // want `time\.Now reads the wall clock`
+}

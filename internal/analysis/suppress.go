@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments.
+//
+// A finding is suppressed by a comment of the form
+//
+//	//lint:allow <analyzer>[,<analyzer>...] [-- reason]
+//
+// placed either on the same line as the finding or on the line directly
+// above it. The analyzer list is exact names (no globs); everything after
+// "--" is a free-form justification. The mechanism is deliberately narrow:
+// one line of reach, named analyzers only, so a suppression can never
+// silently swallow findings it was not written for.
+
+const allowPrefix = "lint:allow"
+
+// allowSet maps file name → line → set of analyzer names allowed on that
+// line. A comment grants its own line and the following line, so both the
+// same-line and line-above placements resolve to simple line lookups.
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) suppressed(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer]
+}
+
+func (s allowSet) add(file string, line int, analyzers []string) {
+	lines := s[file]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		s[file] = lines
+	}
+	set := lines[line]
+	if set == nil {
+		set = make(map[string]bool)
+		lines[line] = set
+	}
+	for _, a := range analyzers {
+		set[a] = true
+	}
+}
+
+// collectAllows scans every comment in the package for lint:allow
+// directives.
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	set := make(allowSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := parseAllow(c.Text)
+				if names == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				// Grant the comment's own line (same-line placement) and
+				// the next line (placement directly above the finding).
+				set.add(pos.Filename, pos.Line, names)
+				set.add(pos.Filename, pos.Line+1, names)
+			}
+		}
+	}
+	return set
+}
+
+// parseAllow extracts the analyzer names from one comment's text, or nil
+// if it is not a lint:allow directive.
+func parseAllow(text string) []string {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil // /* */ comments are not directives
+	}
+	body = strings.TrimSpace(body)
+	rest, ok := strings.CutPrefix(body, allowPrefix)
+	if !ok {
+		return nil
+	}
+	// Directives require whitespace after the prefix ("lint:allowx" is not
+	// a directive).
+	if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		return nil
+	}
+	rest = strings.TrimSpace(rest)
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = strings.TrimSpace(rest[:i])
+	}
+	if rest == "" {
+		return nil
+	}
+	var names []string
+	for _, n := range strings.Split(rest, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}

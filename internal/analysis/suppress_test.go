@@ -1,0 +1,29 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//lint:allow maporder", []string{"maporder"}},
+		{"//lint:allow maporder -- reason text", []string{"maporder"}},
+		{"//lint:allow maporder,timerguard -- two at once", []string{"maporder", "timerguard"}},
+		{"//lint:allow  maporder , timerguard", []string{"maporder", "timerguard"}},
+		{"// lint:allow maporder", []string{"maporder"}},
+		{"//lint:allow", nil},           // no analyzer named
+		{"//lint:allow -- only reason", nil},
+		{"//lint:allowx maporder", nil}, // prefix must be whole word
+		{"// plain comment", nil},
+		{"/*lint:allow maporder*/", nil}, // block comments are not directives
+	}
+	for _, c := range cases {
+		if got := parseAllow(c.text); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseAllow(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package timerfix exercises the timerguard analyzer: Stop+Schedule
+// rearms, discarded NewTimer results, and never-stopped timer fields on
+// types with close paths are findings; the Reset idiom and fire-and-forget
+// Schedule are not.
+package timerfix
+
+import (
+	"time"
+
+	"repro/internal/simtime"
+)
+
+type comp struct {
+	clk *simtime.Clock
+	t   *simtime.Timer
+}
+
+// Bad: the pre-PR-4 rearm pattern allocates a new event every time.
+func (c *comp) rearmOld(d time.Duration, fn func()) {
+	c.t.Stop()
+	c.t = c.clk.Schedule(d, fn) // want `Stop\+Schedule rearm of c\.t`
+}
+
+// Bad: rearming through an absolute-time At call is the same pattern.
+func (c *comp) rearmOldAt(at simtime.Time, fn func()) {
+	c.t.Stop()
+	c.t = c.clk.At(at, fn) // want `Stop\+Schedule rearm of c\.t`
+}
+
+// Bad: intervening statements that don't touch the timer don't launder it.
+func (c *comp) rearmOldGap(d time.Duration, fn func()) {
+	c.t.Stop()
+	x := d * 2
+	c.t = c.clk.Schedule(x, fn) // want `Stop\+Schedule rearm of c\.t`
+}
+
+// Good: the alloc-free idiom.
+func (c *comp) rearmNew(d time.Duration) {
+	c.t.Reset(d)
+}
+
+// Good: Stop followed by rescheduling a different timer.
+func (c *comp) stopOther(other *comp, d time.Duration, fn func()) {
+	c.t.Stop()
+	other.t = other.clk.Schedule(d, fn)
+}
+
+// Good: Stop whose next use of the timer is not a reschedule.
+func (c *comp) stopThenRead() simtime.Time {
+	c.t.Stop()
+	return c.t.When()
+}
+
+// Bad: a discarded NewTimer can never fire or be stopped.
+func discarded(clk *simtime.Clock, fn func()) {
+	clk.NewTimer(fn)     // want `result of Clock\.NewTimer discarded`
+	_ = clk.NewTimer(fn) // want `result of Clock\.NewTimer discarded`
+}
+
+// Good: fire-and-forget scheduling intentionally drops the handle.
+func fireAndForget(clk *simtime.Clock, d time.Duration, fn func()) {
+	clk.Schedule(d, fn)
+}
+
+// Good: justified suppression.
+func suppressed(clk *simtime.Clock, fn func()) {
+	clk.NewTimer(fn) //lint:allow timerguard -- fixture demonstrates suppression
+}
+
+// Bad: leaky owns a timer and has a close path, but nothing ever stops
+// the timer — its scheduled event outlives Close.
+type leaky struct {
+	clk      *simtime.Clock
+	deadline *simtime.Timer // want `timer field leaky\.deadline is never Stopped`
+}
+
+func (l *leaky) arm(d time.Duration, fn func()) {
+	if l.deadline == nil {
+		l.deadline = l.clk.NewTimer(fn)
+	}
+	l.deadline.Reset(d) // arming via Reset is not teardown coverage
+}
+
+func (l *leaky) Close() {}
+
+// Good: clean stops its timer on the close path.
+type clean struct {
+	clk  *simtime.Clock
+	idle *simtime.Timer
+}
+
+func (c *clean) arm(d time.Duration, fn func()) {
+	if c.idle == nil {
+		c.idle = c.clk.NewTimer(fn)
+	}
+	c.idle.Reset(d)
+}
+
+func (c *clean) Close() {
+	c.idle.Stop()
+}
+
+// Good: no close path means one-shot ownership is fine.
+type oneshot struct {
+	done *simtime.Timer
+}
+
+func (o *oneshot) arm(clk *simtime.Clock, d time.Duration, fn func()) {
+	o.done = clk.Schedule(d, fn)
+}

@@ -1,0 +1,241 @@
+// Package timerguard enforces the alloc-free timer discipline from PR 4.
+//
+// Three rules, all about simtime timers:
+//
+//  1. A Stop immediately followed by rescheduling the same timer via
+//     Clock.Schedule/At is the pre-PR-4 pattern: it allocates a fresh
+//     event on every rearm. Timer.Reset/ResetAt rearms the existing event
+//     in place (zero-alloc steady state) with identical ordering
+//     semantics, so per-packet rearm sites must use it.
+//
+//  2. A discarded Clock.NewTimer result is dead: NewTimer returns an
+//     unarmed timer, so a handle nobody keeps can never be Reset (armed)
+//     or Stopped.
+//
+//  3. A struct that owns a *simtime.Timer/*simtime.Ticker field and has a
+//     close-path method (Close, Stop, Shutdown, Disconnect, Teardown,
+//     Cancel) must Stop or Reset that field somewhere in the package.
+//     A timer field that nothing ever stops keeps its scheduled event
+//     alive past close — the PR 4 mqtt broker deadline leak class
+//     (see internal/mqttsim leak_test.go).
+package timerguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astq"
+)
+
+// Analyzer is the timerguard check.
+var Analyzer = &analysis.Analyzer{
+	Name: "timerguard",
+	Doc: "flag Stop+Schedule pairs that should be Timer.Reset/ResetAt, discarded NewTimer results, " +
+		"and timer fields never stopped despite a close path",
+	Run: run,
+}
+
+const simtimePath = "repro/internal/simtime"
+
+// closePathNames are method names treated as a type's teardown surface.
+var closePathNames = map[string]bool{
+	"Close": true, "Stop": true, "Shutdown": true,
+	"Disconnect": true, "Teardown": true, "Cancel": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Path() == simtimePath {
+		// The clock's own implementation legitimately manipulates events
+		// below the Timer abstraction.
+		return nil, nil
+	}
+	stopped := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		checkFile(pass, f, stopped)
+	}
+	checkTimerFields(pass, stopped)
+	return nil, nil
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File, stopped map[types.Object]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			checkStopScheduleRearm(pass, s)
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isClockCall(pass.TypesInfo, call, "NewTimer") {
+				pass.Reportf(call.Pos(),
+					"result of Clock.NewTimer discarded: the timer is unarmed and can never be Reset (armed) or Stopped")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isClockCall(pass.TypesInfo, call, "NewTimer") || i >= len(s.Lhs) {
+					continue
+				}
+				if id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(call.Pos(),
+						"result of Clock.NewTimer discarded: the timer is unarmed and can never be Reset (armed) or Stopped")
+				}
+			}
+		case *ast.CallExpr:
+			recordStoppedField(pass.TypesInfo, s, stopped)
+		}
+		return true
+	})
+}
+
+// checkStopScheduleRearm scans a block for `x.Stop()` whose next statement
+// touching x reschedules it through the clock.
+func checkStopScheduleRearm(pass *analysis.Pass, block *ast.BlockStmt) {
+	for i, stmt := range block.List {
+		recv := stopReceiver(pass.TypesInfo, stmt)
+		if recv == "" {
+			continue
+		}
+		for _, later := range block.List[i+1:] {
+			if !mentionsText(later, recv) {
+				continue
+			}
+			if pos, ok := scheduleAssignTo(pass.TypesInfo, later, recv); ok {
+				pass.Reportf(pos, fmt.Sprintf(
+					"Stop+Schedule rearm of %s allocates a new event per rearm; use Timer.Reset/ResetAt "+
+						"to rearm in place (alloc-free, identical ordering)", recv))
+			}
+			break // first statement touching the timer decides
+		}
+	}
+}
+
+// stopReceiver returns the rendered receiver when stmt is a bare
+// `x.Stop()` call on a *simtime.Timer, else "".
+func stopReceiver(info *types.Info, stmt ast.Stmt) string {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return ""
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	fn := astq.CalleeFunc(info, call)
+	if fn == nil || fn.Name() != "Stop" || !astq.MethodOn(fn, simtimePath, "Timer") {
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return types.ExprString(sel.X)
+}
+
+// scheduleAssignTo reports whether stmt assigns the result of
+// Clock.Schedule or Clock.At back into recv, returning the position of
+// the offending call.
+func scheduleAssignTo(info *types.Info, stmt ast.Stmt, recv string) (token.Pos, bool) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return 0, false
+	}
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) || types.ExprString(as.Lhs[i]) != recv {
+			continue
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if isClockCall(info, call, "Schedule") || isClockCall(info, call, "At") {
+			return call.Pos(), true
+		}
+	}
+	return 0, false
+}
+
+func isClockCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := astq.CalleeFunc(info, call)
+	return fn != nil && fn.Name() == name && astq.MethodOn(fn, simtimePath, "Clock")
+}
+
+// mentionsText reports whether any expression in stmt renders to text.
+func mentionsText(stmt ast.Stmt, text string) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && types.ExprString(e) == text {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// recordStoppedField marks struct fields that appear as the receiver of a
+// Stop call, for rule 3. Reset/ResetAt deliberately do not count: Reset is
+// how the alloc-free idiom *arms* a timer, so only an explicit Stop is
+// evidence of a teardown path.
+func recordStoppedField(info *types.Info, call *ast.CallExpr, stopped map[types.Object]bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Stop" {
+		return
+	}
+	fieldSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if obj := info.Uses[fieldSel.Sel]; obj != nil {
+		stopped[obj] = true
+	}
+}
+
+// checkTimerFields applies rule 3 over the package's named struct types.
+func checkTimerFields(pass *analysis.Pass, stopped map[types.Object]bool) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() { // Names() is sorted: deterministic reports
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		closeName := closePathMethod(named)
+		if closeName == "" {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			if !isTimerType(fld.Type()) || stopped[fld] {
+				continue
+			}
+			pass.Reportf(fld.Pos(), fmt.Sprintf(
+				"timer field %s.%s is never Stopped anywhere in the package although %s has close path %s; "+
+					"its scheduled event outlives close (timer-leak class)",
+				name, fld.Name(), name, closeName))
+		}
+	}
+}
+
+func closePathMethod(named *types.Named) string {
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); closePathNames[m.Name()] {
+			return m.Name()
+		}
+	}
+	return ""
+}
+
+func isTimerType(t types.Type) bool {
+	return astq.NamedTypeIs(t, simtimePath, "Timer") || astq.NamedTypeIs(t, simtimePath, "Ticker")
+}

@@ -1,0 +1,12 @@
+package timerguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/timerguard"
+)
+
+func TestTimerGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", timerguard.Analyzer, "repro/internal/timerfix")
+}

@@ -1,0 +1,79 @@
+// Package tracefix exercises the traceguard analyzer: unguarded
+// obs.Trace emission is a finding; the three sanctioned guard shapes
+// (early return, enclosing if, Enabled-capture) are not.
+package tracefix
+
+import "repro/internal/obs"
+
+type component struct {
+	trace *obs.Trace
+	reg   registry
+}
+
+type registry struct{ tr *obs.Trace }
+
+func (r registry) Trace() *obs.Trace { return r.tr }
+
+// Bad: emission with no guard pays argument construction even when
+// tracing is disabled.
+func (c *component) unguarded(at int64) {
+	c.trace.Emit(0, "fix", "ev", "detail", at) // want `unguarded obs\.Trace\.Emit`
+}
+
+// Bad: Add is an emission too.
+func (c *component) unguardedAdd() {
+	c.trace.Add(obs.TraceEvent{Component: "fix"}) // want `unguarded obs\.Trace\.Add`
+}
+
+// Bad: guarding a different handle does not cover this one.
+func (c *component) wrongGuard(other *obs.Trace) {
+	if other != nil {
+		c.trace.Emit(0, "fix", "ev", "", 0) // want `unguarded obs\.Trace\.Emit`
+	}
+}
+
+// Good: the early-return helper idiom used across the simulators.
+func (c *component) emit(event string) {
+	if c.trace == nil {
+		return
+	}
+	c.trace.Emit(0, "fix", event, "", 0)
+}
+
+// Good: an enclosing positive nil check.
+func (c *component) guardedIf() {
+	if c.trace != nil {
+		c.trace.Emit(0, "fix", "ev", "", 0)
+	}
+}
+
+// Good: emission in the else branch of a nil check.
+func (c *component) guardedElse() {
+	if c.trace == nil {
+		_ = c
+	} else {
+		c.trace.Emit(0, "fix", "ev", "", 0)
+	}
+}
+
+// Good: the Instrument-time capture idiom — grab the handle and test
+// Enabled before emitting.
+func (c *component) enabledCapture() {
+	if tr := c.reg.Trace(); tr.Enabled() {
+		tr.Emit(0, "fix", "ev", "", 0)
+	}
+}
+
+// Good: negated-Enabled early return.
+func (c *component) enabledEarlyReturn() {
+	tr := c.reg.Trace()
+	if !tr.Enabled() {
+		return
+	}
+	tr.Emit(0, "fix", "ev", "", 0)
+}
+
+// Good: justified suppression.
+func (c *component) suppressed() {
+	c.trace.Emit(0, "fix", "ev", "", 0) //lint:allow traceguard -- fixture demonstrates suppression
+}

@@ -1,0 +1,179 @@
+// Package traceguard enforces the zero-tax tracing convention from PR 3.
+//
+// Components capture an *obs.Trace handle once, at Instrument time, and
+// every emission site guards on that handle (`if tr == nil { return }`,
+// `if tr != nil { ... }`, or `if tr := reg.Trace(); tr.Enabled() { ... }`)
+// before building event arguments. The guard is what keeps disabled
+// tracing free: obs.Trace.Emit is itself nil-safe, but an unguarded call
+// still pays for constructing detail strings and values on every hot-path
+// event — precisely the tax BenchmarkTraceHotPathOverhead bounds at <5%.
+//
+// The analyzer flags any call to obs.Trace.Emit/Add whose receiver is not
+// covered by a nil/Enabled guard in the enclosing function. The obs
+// package itself (which defines the ring) and its subpackages are exempt.
+package traceguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astq"
+)
+
+// Analyzer is the traceguard check.
+var Analyzer = &analysis.Analyzer{
+	Name: "traceguard",
+	Doc: "obs.Trace emission must go through a handle captured at Instrument time, " +
+		"nil/Enabled-guarded so disabled tracing stays zero-tax",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if path == "repro/internal/obs" || strings.HasPrefix(path, "repro/internal/obs/") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		astq.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := astq.CalleeFunc(pass.TypesInfo, call)
+			if !astq.MethodOn(fn, "repro/internal/obs", "Trace") ||
+				(fn.Name() != "Emit" && fn.Name() != "Add") {
+				return true
+			}
+			recv := types.ExprString(sel.X)
+			if guarded(stack, recv, call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), fmt.Sprintf(
+				"unguarded obs.Trace.%s: emission must be nil/Enabled-guarded on the Instrument-time handle "+
+					"(e.g. `if %s == nil { return }`) so disabled tracing costs nothing on hot paths",
+				fn.Name(), recv))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// guarded reports whether the emission at pos, with receiver text recv, is
+// covered by a guard: an enclosing if whose condition proves the handle
+// live in the taken branch, or an earlier early-return nil check in the
+// same function.
+func guarded(stack []ast.Node, recv string, pos token.Pos) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.IfStmt:
+			inBody := s.Body != nil && s.Body.Pos() <= pos && pos < s.Body.End()
+			inElse := s.Else != nil && s.Else.Pos() <= pos && pos < s.Else.End()
+			pol, ok := guardPolarity(s.Cond, recv)
+			if ok && ((pol && inBody) || (!pol && inElse)) {
+				return true
+			}
+		// An early `if recv == nil { return }` before the emission in the
+		// innermost function covers everything after it.
+		case *ast.FuncDecl:
+			return hasEarlyReturnGuard(s.Body, recv, pos)
+		case *ast.FuncLit:
+			return hasEarlyReturnGuard(s.Body, recv, pos)
+		}
+	}
+	return false
+}
+
+// guardPolarity inspects an if condition for a guard on recv: it returns
+// (true, true) for conditions that prove the handle live when taken
+// (`recv != nil`, `recv.Enabled()`), (false, true) for conditions that
+// prove it dead (`recv == nil`, `!recv.Enabled()`), and ok=false when the
+// condition says nothing about recv.
+func guardPolarity(cond ast.Expr, recv string) (positive, ok bool) {
+	found := false
+	pos := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			if e.Op == token.NEQ || e.Op == token.EQL {
+				if isNilCompare(e, recv) {
+					found, pos = true, e.Op == token.NEQ
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if isEnabledCall(e, recv) {
+				found, pos = true, true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.NOT {
+				if c, okc := ast.Unparen(e.X).(*ast.CallExpr); okc && isEnabledCall(c, recv) {
+					found, pos = true, false
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return pos, found
+}
+
+func isNilCompare(e *ast.BinaryExpr, recv string) bool {
+	x, y := types.ExprString(e.X), types.ExprString(e.Y)
+	return (x == recv && y == "nil") || (y == recv && x == "nil")
+}
+
+func isEnabledCall(c *ast.CallExpr, recv string) bool {
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Enabled" && types.ExprString(sel.X) == recv
+}
+
+// hasEarlyReturnGuard reports whether body contains, before pos, an
+// `if recv == nil { ... return ... }` statement.
+func hasEarlyReturnGuard(body *ast.BlockStmt, recv string, pos token.Pos) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		s, ok := n.(*ast.IfStmt)
+		if !ok || s.End() > pos {
+			return true
+		}
+		if p, okp := guardPolarity(s.Cond, recv); okp && !p && containsReturn(s.Body) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func containsReturn(b *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(b, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ReturnStmt:
+			found = true
+			return false
+		case *ast.FuncLit:
+			return false // a return inside a closure doesn't leave the guard's function
+		}
+		return !found
+	})
+	return found
+}

@@ -200,7 +200,9 @@ func (b *Bridge) processRecord(d sniff.Direction, st *bridgeDir, rec []byte) {
 		if !st.holding {
 			st.holding = true
 			st.heldSince = b.clk.Now()
-			b.met.trace.Emit(b.clk.Now(), "core", "hold_start", d.String(), int64(info.WireLen))
+			if b.met.trace != nil {
+				b.met.trace.Emit(b.clk.Now(), "core", "hold_start", d.String(), int64(info.WireLen))
+			}
 		}
 		st.held++
 		st.queue = append(st.queue, rec)
@@ -229,7 +231,9 @@ func (b *Bridge) Release(d sniff.Direction) int {
 		b.met.byDir(b.met.released, d).Add(uint64(n))
 		b.met.heldDepth.Add(int64(-n))
 		b.met.releaseLatency.ObserveDuration(b.clk.Now() - st.heldSince)
-		b.met.trace.Emit(b.clk.Now(), "core", "release", d.String(), int64(n))
+		if b.met.trace != nil {
+			b.met.trace.Emit(b.clk.Now(), "core", "release", d.String(), int64(n))
+		}
 	}
 	st.holding = false
 	// Close propagation after a hold is asymmetric. If the *device* died

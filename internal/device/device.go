@@ -3,6 +3,7 @@ package device
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -128,12 +129,15 @@ func (d *Device) Profile() Profile { return d.profile }
 // Label returns the device's identifier.
 func (d *Device) Label() string { return d.profile.Label }
 
-// Children returns the hub's attached devices (empty for non-hubs).
+// Children returns the hub's attached devices (empty for non-hubs),
+// ordered by label: the attachment table is a map, and callers walk the
+// result to drive deterministic startup and measurement.
 func (d *Device) Children() []*Device {
 	out := make([]*Device, 0, len(d.children))
 	for _, c := range d.children {
 		out = append(out, c)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label() < out[j].Label() })
 	return out
 }
 

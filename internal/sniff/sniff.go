@@ -7,6 +7,8 @@
 package sniff
 
 import (
+	"sort"
+
 	"repro/internal/ipnet"
 	"repro/internal/netsim"
 	"repro/internal/simtime"
@@ -108,13 +110,31 @@ func (c *Capture) FlowRecords(key FlowKey) []RecordMeta {
 	return out
 }
 
-// Flows lists the flows seen so far.
+// Flows lists the flows seen so far, ordered by client then server
+// endpoint. The flow table is a map, so without the sort the listing
+// would change order run to run — and Flows feeds fingerprinting and
+// attack target selection, which must be pure functions of the capture.
 func (c *Capture) Flows() []FlowKey {
 	out := make([]FlowKey, 0, len(c.flows))
 	for k := range c.flows {
 		out = append(out, k)
 	}
+	sort.Slice(out, func(i, j int) bool { return flowKeyLess(out[i], out[j]) })
 	return out
+}
+
+func flowKeyLess(a, b FlowKey) bool {
+	if a.Client != b.Client {
+		return endpointLess(a.Client, b.Client)
+	}
+	return endpointLess(a.Server, b.Server)
+}
+
+func endpointLess(a, b tcpsim.Endpoint) bool {
+	if a.Addr != b.Addr {
+		return a.Addr < b.Addr
+	}
+	return a.Port < b.Port
 }
 
 // StreamSeq returns the next expected TCP sequence number of one direction

@@ -3,6 +3,8 @@
 #
 #   build    — the whole module compiles
 #   vet      — static checks
+#   lint     — phantomlint (internal/analysis): determinism and zero-tax
+#              tracing invariants, machine-checked (DESIGN.md §10)
 #   test     — full test suite
 #   race     — the packages that spawn goroutines (the parallel table
 #              runner, the obs snapshot/merge boundary and the fleet
@@ -14,6 +16,8 @@ echo "== go build"
 go build ./...
 echo "== go vet"
 go vet ./...
+echo "== phantomlint"
+go run ./cmd/phantomlint ./...
 echo "== go test"
 go test ./...
 echo "== go test -race (concurrency boundary)"
