@@ -7,7 +7,7 @@ GO ?= go
 BENCHTIME ?= 2s
 BENCH_OUT ?= BENCH_hotpath.json
 BENCH_PKGS = . ./internal/simtime ./internal/tcpsim
-BENCH_MATCH = ^(BenchmarkTableICloudDevices|BenchmarkTableIIIPoCCases|BenchmarkSimulatedHomeHour|BenchmarkFleetCampaign|BenchmarkTimerChurn|BenchmarkTimerReset|BenchmarkRTORearm)$$
+BENCH_MATCH = ^(BenchmarkTableICloudDevices|BenchmarkTableIIIPoCCases|BenchmarkSimulatedHomeHour|BenchmarkFleetCampaign|BenchmarkFleetCampaignReuse|BenchmarkTimerChurn|BenchmarkTimerReset|BenchmarkRTORearm)$$
 
 .PHONY: all build vet lint test race verify bench bench-json bench-check
 
@@ -20,7 +20,7 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the phantomlint suite (internal/analysis: simdeterminism,
-# maporder, traceguard, timerguard) over the whole module. See DESIGN.md
+# maporder, traceguard, timerguard, resetalloc) over the whole module. See DESIGN.md
 # §10 for what each analyzer enforces and the //lint:allow suppression
 # policy. Also usable as `go vet -vettool=$(go build -o /tmp/pl
 # ./cmd/phantomlint && echo /tmp/pl) ./...`.

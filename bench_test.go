@@ -317,20 +317,21 @@ func BenchmarkTraceHotPathOverhead(b *testing.B) {
 	}
 }
 
-// BenchmarkFleetCampaign runs the default campaign over a synthetic
+// benchFleetCampaign runs the default campaign over a synthetic
 // population, reporting population throughput (homes/s) and campaign
 // outcome fractions. Parallelism comes from the fleet worker pool, not
 // b.RunParallel: the unit of work is one whole home.
-func BenchmarkFleetCampaign(b *testing.B) {
+func benchFleetCampaign(b *testing.B, reuse bool) {
 	const homes = 64
 	var res fleet.Result
 	for i := 0; i < b.N; i++ {
 		c := fleet.Campaign{
-			Spec:      fleet.DefaultSpec(),
-			Homes:     homes,
-			Workers:   runtime.GOMAXPROCS(0),
-			ShardSize: 8,
-			Seed:      1000 + int64(i),
+			Spec:          fleet.DefaultSpec(),
+			Homes:         homes,
+			Workers:       runtime.GOMAXPROCS(0),
+			ShardSize:     8,
+			Seed:          1000 + int64(i),
+			ReuseTestbeds: reuse,
 		}
 		var err error
 		res, err = c.Run()
@@ -344,6 +345,16 @@ func BenchmarkFleetCampaign(b *testing.B) {
 		b.ReportMetric(float64(res.Metrics.Counter("fleet_alarms_total")), "alarms")
 	}
 }
+
+// BenchmarkFleetCampaign builds every home's testbed from scratch — the
+// cold-construction allocation profile.
+func BenchmarkFleetCampaign(b *testing.B) { benchFleetCampaign(b, false) }
+
+// BenchmarkFleetCampaignReuse recycles one testbed arena per worker across
+// the shard's homes (Campaign.ReuseTestbeds) — the steady-state profile.
+// Results are byte-identical to BenchmarkFleetCampaign's; only the
+// allocation columns should differ.
+func BenchmarkFleetCampaignReuse(b *testing.B) { benchFleetCampaign(b, true) }
 
 // BenchmarkAblationMargin regenerates the release-margin sweep: the design
 // parameter trading stolen delay against stealth.

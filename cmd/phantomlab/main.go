@@ -277,6 +277,7 @@ func runFleet(args []string) error {
 	checkpointPath := fs.String("checkpoint", "", "persist completed shards to this JSON file and resume from it")
 	outPath := fs.String("out", "", "write aggregated results JSON to this file (default stdout)")
 	shardSize := fs.Int("shard-size", fleet.DefaultShardSize, "homes per checkpoint shard")
+	reuse := fs.Bool("reuse", false, "recycle one testbed arena per worker (allocation only; results are identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -303,6 +304,7 @@ func runFleet(args []string) error {
 		ShardSize:      *shardSize,
 		Seed:           *seed,
 		CheckpointPath: *checkpointPath,
+		ReuseTestbeds:  *reuse,
 		OnShard:        progress.onShard,
 	}
 	res, err := c.Run()

@@ -26,6 +26,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/resetalloc"
 	"repro/internal/analysis/simdeterminism"
 	"repro/internal/analysis/timerguard"
 	"repro/internal/analysis/traceguard"
@@ -34,6 +35,7 @@ import (
 // suite is the phantomlint analyzer set, in reporting order.
 var suite = []*analysis.Analyzer{
 	maporder.Analyzer,
+	resetalloc.Analyzer,
 	simdeterminism.Analyzer,
 	timerguard.Analyzer,
 	traceguard.Analyzer,

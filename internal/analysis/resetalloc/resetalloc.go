@@ -1,0 +1,182 @@
+// Package resetalloc enforces the arena-recycling discipline from the
+// testbed-reuse work: a method named Reset exists so a pooled object can
+// be reparameterised *in place*, so its body must not replace receiver
+// fields with freshly allocated maps, slices or objects when an in-place
+// variant exists:
+//
+//   - `r.m = make(map...)` / map literals → `clear(r.m)` empties the
+//     existing table without allocating;
+//   - `r.s = make([]T, ...)` / slice literals → `r.s = r.s[:0]` keeps the
+//     backing array warm;
+//   - `r.f = &T{...}` / `new(T)` → reinitialise the pooled object the
+//     field already points at.
+//
+// Every such assignment silently re-introduces per-home allocation into
+// the fleet's zero-alloc steady state — the exact regression class the
+// BenchmarkFleetCampaignReuse harness exists to catch, surfaced here at
+// compile time instead of bench time. A first-construction fallback
+// (`if r.m == nil { r.m = make(...) }`) is legitimate and recognised; a
+// deliberate fresh allocation (e.g. handing ownership of the old value
+// away) is suppressed with `//lint:allow resetalloc -- reason`.
+package resetalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the resetalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "resetalloc",
+	Doc: "flag Reset methods that assign freshly allocated maps/slices/objects to receiver fields " +
+		"when an in-place variant (clear, truncation, pooled reinit) exists",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "Reset" || fd.Body == nil {
+				continue
+			}
+			recv := receiverVar(pass.TypesInfo, fd)
+			if recv == nil {
+				continue
+			}
+			checkResetBody(pass, fd, recv)
+		}
+	}
+	return nil, nil
+}
+
+// receiverVar returns the receiver's object, or nil for an unnamed
+// receiver (which cannot have its fields assigned).
+func receiverVar(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+func checkResetBody(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object) {
+	// nilGuarded collects fields assigned under an `if r.f == nil` check:
+	// the lazily-built first-construction fallback, not a recycling leak.
+	nilGuarded := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if field := nilCheckedField(pass.TypesInfo, ifs.Cond, recv); field != "" {
+			nilGuarded[field] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			sel, ok := ast.Unparen(as.Lhs[i]).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != recv {
+				continue
+			}
+			if nilGuarded[sel.Sel.Name] {
+				continue
+			}
+			kind, hint := allocKind(pass.TypesInfo, rhs)
+			if kind == "" {
+				continue
+			}
+			pass.Reportf(rhs.Pos(), fmt.Sprintf(
+				"Reset assigns a fresh %s to %s.%s; %s so the pooled arena stays alloc-free",
+				kind, id.Name, sel.Sel.Name, hint))
+		}
+		return true
+	})
+}
+
+// nilCheckedField returns the field name when cond is `r.f == nil` (either
+// operand order), else "".
+func nilCheckedField(info *types.Info, cond ast.Expr, recv types.Object) string {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op.String() != "==" {
+		return ""
+	}
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		sel, ok := ast.Unparen(pair[0]).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || info.Uses[id] != recv {
+			continue
+		}
+		if other, ok := ast.Unparen(pair[1]).(*ast.Ident); ok && other.Name == "nil" {
+			return sel.Sel.Name
+		}
+	}
+	return ""
+}
+
+// allocKind classifies rhs as a fresh allocation and names the in-place
+// alternative, or returns "" when the assignment is allocation-free.
+func allocKind(info *types.Info, rhs ast.Expr) (kind, hint string) {
+	rhs = ast.Unparen(rhs)
+	switch v := rhs.(type) {
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(v.Fun).(*ast.Ident)
+		if !ok {
+			return "", ""
+		}
+		if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+			return "", ""
+		}
+		switch id.Name {
+		case "make":
+			if len(v.Args) == 0 {
+				return "", ""
+			}
+			return containerKind(info.TypeOf(v.Args[0]))
+		case "new":
+			return "object", "reinitialise the pooled object in place"
+		}
+	case *ast.UnaryExpr:
+		if v.Op.String() == "&" {
+			if _, ok := ast.Unparen(v.X).(*ast.CompositeLit); ok {
+				return "object", "reinitialise the pooled object in place"
+			}
+		}
+	case *ast.CompositeLit:
+		return containerKind(info.TypeOf(v))
+	}
+	return "", ""
+}
+
+func containerKind(t types.Type) (kind, hint string) {
+	if t == nil {
+		return "", ""
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		return "map", "empty the existing table with clear(...)"
+	case *types.Slice:
+		return "slice", "truncate the existing backing array with s = s[:0]"
+	case *types.Chan:
+		return "channel", "drain and reuse the existing channel"
+	}
+	return "", ""
+}

@@ -1,0 +1,12 @@
+package resetalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/resetalloc"
+)
+
+func TestResetAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", resetalloc.Analyzer, "repro/internal/resetfix")
+}

@@ -1,0 +1,62 @@
+// Package resetfix exercises the resetalloc analyzer: fresh map/slice/
+// object allocations assigned to receiver fields inside Reset are
+// findings; in-place reinitialisation, scalar assignments, locals,
+// nil-guarded first construction, non-Reset methods and suppressed lines
+// are not.
+package resetfix
+
+type inner struct{ v int }
+
+type pool struct {
+	m     map[string]int
+	s     []int
+	obj   *inner
+	alt   *inner
+	ch    chan int
+	n     int
+	label string
+}
+
+func (p *pool) Reset() {
+	p.m = make(map[string]int)     // want `fresh map to p\.m.*clear`
+	p.s = make([]int, 0, 8)        // want `fresh slice to p\.s.*truncate`
+	p.obj = &inner{}               // want `fresh object to p\.obj.*in place`
+	p.alt = new(inner)             // want `fresh object to p\.alt.*in place`
+	p.ch = make(chan int, 4)       // want `fresh channel to p\.ch`
+	p.m = map[string]int{"a": 1}   // want `fresh map to p\.m.*clear`
+	p.s = []int{1, 2, 3}           // want `fresh slice to p\.s.*truncate`
+	p.n = 0                        // fine: scalar
+	p.label = ""                   // fine: scalar
+	local := make([]int, 4)        // fine: local, not a receiver field
+	_ = local
+}
+
+// The in-place idiom the analyzer exists to steer toward.
+func (p *pool) ResetInPlace() {} // keeps gofmt happy about the next method
+
+type good struct {
+	m map[string]int
+	s []int
+}
+
+func (g *good) Reset() {
+	clear(g.m)     // fine: in-place clear
+	g.s = g.s[:0]  // fine: truncation keeps the backing array
+	if g.m == nil {
+		g.m = make(map[string]int) // fine: nil-guarded first construction
+	}
+}
+
+type grower struct{ m map[string]int }
+
+// Allocation outside a Reset path is none of this analyzer's business.
+func (g *grower) Grow() {
+	g.m = make(map[string]int) // fine: not Reset
+}
+
+type handoff struct{ s []int }
+
+func (h *handoff) Reset() {
+	//lint:allow resetalloc -- previous slice ownership handed to the caller
+	h.s = make([]int, 0, 4) // fine: explicitly suppressed
+}

@@ -37,14 +37,29 @@ const packetLen = 2 + 6 + 4 + 6 + 4
 
 // Marshal encodes the packet for a frame payload.
 func (p Packet) Marshal() []byte {
-	b := make([]byte, packetLen)
-	binary.BigEndian.PutUint16(b[0:2], uint16(p.Op))
-	copy(b[2:8], p.SenderMAC[:])
+	return p.AppendTo(nil)
+}
+
+// AppendTo encodes the packet onto b (usually a reusable scratch buffer)
+// and returns the extended slice.
+func (p Packet) AppendTo(b []byte) []byte {
+	n := len(b)
+	total := n + packetLen
+	if cap(b) < total {
+		nb := make([]byte, total)
+		copy(nb, b)
+		b = nb
+	} else {
+		b = b[:total]
+	}
+	out := b[n:]
+	binary.BigEndian.PutUint16(out[0:2], uint16(p.Op))
+	copy(out[2:8], p.SenderMAC[:])
 	sip := p.SenderIP.Bytes()
-	copy(b[8:12], sip[:])
-	copy(b[12:18], p.TargetMAC[:])
+	copy(out[8:12], sip[:])
+	copy(out[12:18], p.TargetMAC[:])
 	tip := p.TargetIP.Bytes()
-	copy(b[18:22], tip[:])
+	copy(out[18:22], tip[:])
 	return b
 }
 
@@ -99,6 +114,15 @@ type Client struct {
 	cfg     Config
 	cache   map[ipaddr.Addr]netsim.MAC
 	pending map[ipaddr.Addr]*resolution
+	// txbuf is the marshal scratch for the client's sends; netsim copies a
+	// frame's payload before Send returns, so one buffer serves them all.
+	txbuf []byte
+}
+
+// send marshals p into the client's scratch and transmits it.
+func (c *Client) send(dst netsim.MAC, p Packet) {
+	c.txbuf = p.AppendTo(c.txbuf[:0])
+	c.nic.Send(netsim.Frame{Dst: dst, Type: netsim.EtherTypeARP, Payload: c.txbuf})
 }
 
 type resolution struct {
@@ -118,6 +142,21 @@ func NewClient(clk *simtime.Clock, nic *netsim.NIC, self ipaddr.Addr, cfg Config
 		cache:   make(map[ipaddr.Addr]netsim.MAC),
 		pending: make(map[ipaddr.Addr]*resolution),
 	}
+}
+
+// Reset rebinds the client to a NIC and address, dropping all resolution
+// state while keeping its allocations (cache and pending maps, marshal
+// scratch, configuration). Outstanding resolutions are cancelled: their
+// timers stop and their callbacks never fire. A reset client behaves
+// byte-identically to NewClient(clk, nic, self, cfg) for the same cfg.
+func (c *Client) Reset(nic *netsim.NIC, self ipaddr.Addr) {
+	c.nic = nic
+	c.self = self
+	clear(c.cache)
+	for _, r := range c.pending {
+		r.timer.Stop()
+	}
+	clear(c.pending)
 }
 
 // Self returns the protocol address the client answers for.
@@ -147,15 +186,11 @@ func (c *Client) Resolve(addr ipaddr.Addr, done func(netsim.MAC, bool)) {
 }
 
 func (c *Client) sendRequest(addr ipaddr.Addr, r *resolution) {
-	c.nic.Send(netsim.Frame{
-		Dst:  netsim.BroadcastMAC,
-		Type: netsim.EtherTypeARP,
-		Payload: Packet{
-			Op:        OpRequest,
-			SenderMAC: c.nic.MAC(),
-			SenderIP:  c.self,
-			TargetIP:  addr,
-		}.Marshal(),
+	c.send(netsim.BroadcastMAC, Packet{
+		Op:        OpRequest,
+		SenderMAC: c.nic.MAC(),
+		SenderIP:  c.self,
+		TargetIP:  addr,
 	})
 	r.timer = c.clk.Schedule(c.cfg.RequestTimeout, func() {
 		if r.retries < c.cfg.MaxRetries {
@@ -173,16 +208,12 @@ func (c *Client) sendRequest(addr ipaddr.Addr, r *resolution) {
 // Announce broadcasts a gratuitous reply advertising the client's own
 // binding, as hosts do when joining a network.
 func (c *Client) Announce() {
-	c.nic.Send(netsim.Frame{
-		Dst:  netsim.BroadcastMAC,
-		Type: netsim.EtherTypeARP,
-		Payload: Packet{
-			Op:        OpReply,
-			SenderMAC: c.nic.MAC(),
-			SenderIP:  c.self,
-			TargetMAC: netsim.BroadcastMAC,
-			TargetIP:  c.self,
-		}.Marshal(),
+	c.send(netsim.BroadcastMAC, Packet{
+		Op:        OpReply,
+		SenderMAC: c.nic.MAC(),
+		SenderIP:  c.self,
+		TargetMAC: netsim.BroadcastMAC,
+		TargetIP:  c.self,
 	})
 }
 
@@ -206,16 +237,12 @@ func (c *Client) HandleFrame(f netsim.Frame) {
 		}
 	}
 	if p.Op == OpRequest && p.TargetIP == c.self {
-		c.nic.Send(netsim.Frame{
-			Dst:  p.SenderMAC,
-			Type: netsim.EtherTypeARP,
-			Payload: Packet{
-				Op:        OpReply,
-				SenderMAC: c.nic.MAC(),
-				SenderIP:  c.self,
-				TargetMAC: p.SenderMAC,
-				TargetIP:  p.SenderIP,
-			}.Marshal(),
+		c.send(p.SenderMAC, Packet{
+			Op:        OpReply,
+			SenderMAC: c.nic.MAC(),
+			SenderIP:  c.self,
+			TargetMAC: p.SenderMAC,
+			TargetIP:  p.SenderIP,
 		})
 	}
 }

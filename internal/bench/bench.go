@@ -221,26 +221,42 @@ type Tolerance struct {
 }
 
 // DefaultTolerance suits same-machine runs: ns/op may wobble ±40% across
-// runs of macro benchmarks, allocation counts barely at all.
-var DefaultTolerance = Tolerance{NsFrac: 0.40, AllocFrac: 0.10, AllocSlack: 64}
+// runs of macro benchmarks, allocation counts barely at all. The
+// allocation budget is deliberately tight (5% + 32 allocs/op of noise
+// floor): with the testbed arena giving campaigns a near-zero-alloc steady
+// state, even small per-op allocation creep is a real regression.
+var DefaultTolerance = Tolerance{NsFrac: 0.40, AllocFrac: 0.05, AllocSlack: 32}
 
 // CITolerance is for foreign hardware: timing is not comparable at all,
 // allocation counts are, with headroom for Go-version drift.
 var CITolerance = Tolerance{NsFrac: -1, AllocFrac: 0.25, AllocSlack: 64}
 
 // Compare diffs current against baseline and describes every regression.
-// A benchmark present in the baseline but missing from current is a
-// regression (coverage loss); one only in current is fine (new coverage).
+// The two documents must agree on the benchmark set: a benchmark present
+// only in the baseline is lost coverage, one present only in the current
+// run means the committed baseline is stale. Both directions fail loudly
+// with the offending names, so set drift can never hide inside a green
+// run — the fix is always explicit (restore the benchmark, or re-run
+// `make bench-json` and commit the refreshed document).
 func Compare(baseline, current Suite, tol Tolerance) []string {
 	var regs []string
 	cur := make(map[string]Result, len(current.Benchmarks))
 	for _, r := range current.Benchmarks {
 		cur[r.key()] = r
 	}
+	base := make(map[string]bool, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[b.key()] = true
+	}
+	for _, c := range current.Benchmarks {
+		if !base[c.key()] {
+			regs = append(regs, fmt.Sprintf("%s: present in current run but missing from baseline (stale baseline: re-run `make bench-json` and commit the result)", c.key()))
+		}
+	}
 	for _, b := range baseline.Benchmarks {
 		c, ok := cur[b.key()]
 		if !ok {
-			regs = append(regs, fmt.Sprintf("%s: present in baseline but missing from current run", b.key()))
+			regs = append(regs, fmt.Sprintf("%s: present in baseline but missing from current run (coverage loss: restore the benchmark or refresh the baseline)", b.key()))
 			continue
 		}
 		if tol.NsFrac >= 0 && b.NsPerOp > 0 {

@@ -175,17 +175,40 @@ func TestCompareAllocSlackAbsorbsSmallCounts(t *testing.T) {
 	}
 }
 
-func TestCompareFlagsMissingBenchmark(t *testing.T) {
+// TestCompareFlagsSetMismatch pins the contract that baseline and current
+// must cover the same benchmark set: a benchmark dropped from the run is
+// lost coverage, one added without refreshing the baseline is a stale
+// baseline, and both directions fail with the offending name and a hint
+// at the fix.
+func TestCompareFlagsSetMismatch(t *testing.T) {
 	base := parseRecorded(t)
 	cur := parseRecorded(t)
+	dropped := cur.Benchmarks[len(cur.Benchmarks)-1].key()
 	cur.Benchmarks = cur.Benchmarks[:len(cur.Benchmarks)-1]
+
 	regs := Compare(base, cur, CITolerance)
-	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
-		t.Fatalf("want one missing-benchmark regression, got %v", regs)
+	if len(regs) != 1 || !strings.Contains(regs[0], dropped) || !strings.Contains(regs[0], "missing from current run") {
+		t.Fatalf("want one coverage-loss regression naming %s, got %v", dropped, regs)
 	}
-	// The reverse — baseline lacking a new benchmark — is fine.
-	if regs := Compare(cur, base, CITolerance); len(regs) != 0 {
-		t.Fatalf("new benchmarks in current must pass, got %v", regs)
+
+	// The reverse — current grew a benchmark the baseline lacks — must fail
+	// just as loudly: the committed baseline is stale.
+	regs = Compare(cur, base, CITolerance)
+	if len(regs) != 1 || !strings.Contains(regs[0], dropped) || !strings.Contains(regs[0], "missing from baseline") {
+		t.Fatalf("want one stale-baseline regression naming %s, got %v", dropped, regs)
+	}
+	if !strings.Contains(regs[0], "make bench-json") {
+		t.Fatalf("stale-baseline message should name the fix, got %q", regs[0])
+	}
+
+	// Disjoint in both directions: every divergent name is reported, so the
+	// diff is complete, not first-error-only.
+	both := parseRecorded(t)
+	both.Benchmarks = append([]Result{}, base.Benchmarks[:2]...)
+	tail := NewSuite(base.Benchmarks[2:])
+	regs = Compare(NewSuite(both.Benchmarks), tail, CITolerance)
+	if len(regs) != len(base.Benchmarks) {
+		t.Fatalf("disjoint suites: want %d messages (one per name), got %v", len(base.Benchmarks), regs)
 	}
 }
 

@@ -50,20 +50,33 @@ type Attacker struct {
 func NewAttacker(nw *netsim.Network, lan *netsim.Segment, name, cidr string, gateway ipaddr.Addr, seed int64) (*Attacker, error) {
 	clk := nw.Clock()
 	ip := ipnet.NewStack(clk, nw.NewHost(name))
-	ifc, err := ip.AddIface(lan, cidr)
-	if err != nil {
+	if _, err := ip.AddIface(lan, cidr); err != nil {
 		return nil, err
 	}
 	if err := ip.SetDefaultGateway(gateway); err != nil {
 		return nil, err
 	}
+	return NewAttackerOn(clk, lan, ip, tcpsim.NewStack(clk, ip, tcpsim.Config{}, seed), simtime.NewRand(seed+1))
+}
+
+// NewAttackerOn assembles an attacker from pre-built components: an IP
+// stack already attached to the LAN with its default gateway set, a TCP
+// stack bound to it, and a randomness source. It exists so arena owners
+// (the experiment testbed) can feed pooled stacks through the exact wiring
+// NewAttacker performs; both paths behave byte-identically given
+// identically seeded inputs.
+func NewAttackerOn(clk *simtime.Clock, lan *netsim.Segment, ip *ipnet.Stack, tcp *tcpsim.Stack, rng *simtime.Rand) (*Attacker, error) {
+	ifaces := ip.Ifaces()
+	if len(ifaces) == 0 {
+		return nil, fmt.Errorf("core: attacker IP stack has no interface")
+	}
 	a := &Attacker{
 		Clock:     clk,
 		Host:      ip.Host(),
 		IP:        ip,
-		TCP:       tcpsim.NewStack(clk, ip, tcpsim.Config{}, seed),
+		TCP:       tcp,
 		Capture:   sniff.NewCapture(clk),
-		rng:       simtime.NewRand(seed + 1),
+		rng:       rng,
 		acceptors: make(map[uint16]map[ipaddr.Addr]func(*tcpsim.Conn)),
 	}
 	// Forward traffic that is not being attacked; divert what is. Unknown
@@ -72,7 +85,7 @@ func NewAttacker(nw *netsim.Network, lan *netsim.Segment, name, cidr string, gat
 	a.IP.Forwarding = true
 	a.IP.Divert = a.divert
 	a.TCP.SendRST = false
-	a.Spoofer = arp.NewSpoofer(clk, ifc.ARP(), 0)
+	a.Spoofer = arp.NewSpoofer(clk, ifaces[0].ARP(), 0)
 	a.Spoofer.Start()
 	// Passive sniffing of the WiFi medium (the radio, not the NIC).
 	lan.AddTap(a.Capture.Tap())

@@ -2,6 +2,7 @@ package device
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/proto"
@@ -29,14 +30,33 @@ import (
 // paper's aggregate claims (all 50 vulnerable; every event window ≥ 30s
 // except the SimpliSafe keypad; command windows from several seconds to
 // sub-minute). EXPERIMENTS.md marks which rows are prose-exact.
+// The roster is static, so it is assembled once and shared: Catalog and
+// Index return views that callers must treat as read-only. Per-home
+// parameter overrides go through copies (ByLabel, Profile.WithTimingJitter),
+// never through these shared views.
 func Catalog() []Profile {
+	catalogOnce.Do(buildCatalog)
+	return catalogCache
+}
+
+var (
+	catalogOnce  sync.Once
+	catalogCache []Profile
+	indexCache   map[string]Profile
+)
+
+func buildCatalog() {
 	var out []Profile
 	out = append(out, cloudHubs()...)
 	out = append(out, hubChildren()...)
 	out = append(out, wifiDirect()...)
 	out = append(out, onDemand()...)
 	out = append(out, homeKit()...)
-	return out
+	catalogCache = out
+	indexCache = make(map[string]Profile, len(out))
+	for _, p := range out {
+		indexCache[p.Label] = p
+	}
 }
 
 func cloudHubs() []Profile {
@@ -301,7 +321,9 @@ func homeKit() []Profile {
 	}
 }
 
-// ByLabel indexes the catalog.
+// ByLabel indexes the catalog into a fresh map the caller may mutate
+// (testbeds overlay per-home profile overrides on their copy). Read-only
+// callers should prefer Index, which shares one immutable map.
 func ByLabel() map[string]Profile {
 	cat := Catalog()
 	m := make(map[string]Profile, len(cat))
@@ -311,9 +333,16 @@ func ByLabel() map[string]Profile {
 	return m
 }
 
+// Index returns the shared label→profile index. The map is built once and
+// must not be modified.
+func Index() map[string]Profile {
+	catalogOnce.Do(buildCatalog)
+	return indexCache
+}
+
 // Lookup returns the catalog profile with the given label.
 func Lookup(label string) (Profile, error) {
-	p, ok := ByLabel()[label]
+	p, ok := Index()[label]
 	if !ok {
 		return Profile{}, fmt.Errorf("device: no catalog entry %q", label)
 	}

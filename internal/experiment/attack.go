@@ -12,9 +12,20 @@ import (
 
 // NewAttacker joins an attacker host to the home WiFi at AttackerAddr —
 // the paper's "one controlled WiFi device". The attacker reports into the
-// testbed's metrics registry.
+// testbed's metrics registry. Its IP/TCP stacks and randomness come from
+// the testbed arena, seeded exactly as core.NewAttacker would seed them, so
+// pooled and fresh attackers behave byte-identically.
 func (tb *Testbed) NewAttacker() (*core.Attacker, error) {
-	atk, err := core.NewAttacker(tb.Net, tb.LAN, "attacker", AttackerAddr.String()+"/24", GatewayAddr, tb.cfg.Seed+900)
+	ip := tb.newIPStack("attacker")
+	if _, err := ip.AddIface(tb.LAN, AttackerAddr.String()+"/24"); err != nil {
+		return nil, err
+	}
+	if err := ip.SetDefaultGateway(GatewayAddr); err != nil {
+		return nil, err
+	}
+	tcp := tb.newTCPStack(ip, tb.cfg.Seed+900)
+	rng := tb.newRand(tb.cfg.Seed + 901)
+	atk, err := core.NewAttackerOn(tb.Clock, tb.LAN, ip, tcp, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +84,7 @@ func (tb *Testbed) Hijack(atk *core.Attacker, label string) (*core.Hijacker, err
 	if err != nil {
 		return nil, err
 	}
-	cl := sniff.NewClassifier(sniff.BuildCatalogSignatures())
+	cl := sniff.CatalogClassifier()
 	h := core.NewHijacker(atk, target, cl)
 	if err := h.Install(nil); err != nil {
 		return nil, err

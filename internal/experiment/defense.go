@@ -39,7 +39,7 @@ func RunAckTimeoutDefense(label string, timeouts []time.Duration, seed int64) []
 	if err != nil {
 		return []AckDefenseResult{{Label: label, Err: err}}
 	}
-	owner, err := device.SessionProfile(truth, device.ByLabel())
+	owner, err := device.SessionProfile(truth, device.Index())
 	if err != nil {
 		return []AckDefenseResult{{Label: label, Err: err}}
 	}

@@ -81,7 +81,7 @@ func reconPoint(labels []string, topN int, seed int64) ReconResult {
 	for _, model := range identified {
 		owners[model] = true
 	}
-	byLabel := device.ByLabel()
+	byLabel := device.Index()
 	for _, label := range labels {
 		res.DevicesTotal++
 		owner, err := device.SessionProfile(byLabel[label], byLabel)
@@ -98,8 +98,9 @@ func reconPoint(labels []string, topN int, seed int64) ReconResult {
 // topModelSignatures returns signatures for the topN session-owning cloud
 // models by app downloads (the paper's popularity proxy).
 func topModelSignatures(topN int) []sniff.ModelSignature {
-	all := sniff.BuildCatalogSignatures()
-	byLabel := device.ByLabel()
+	// Copy before sorting: BuildCatalogSignatures returns a shared slice.
+	all := append([]sniff.ModelSignature(nil), sniff.BuildCatalogSignatures()...)
+	byLabel := device.Index()
 	sort.SliceStable(all, func(i, j int) bool {
 		pi, pj := byLabel[all[i].Owner], byLabel[all[j].Owner]
 		if pi.AppDownloads != pj.AppDownloads {

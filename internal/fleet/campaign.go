@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/device"
+	"repro/internal/experiment"
 	"repro/internal/obs"
 )
 
@@ -32,6 +33,13 @@ type Campaign struct {
 	CheckpointPath string
 	// Template drives device-mix sampling; zero value selects the default.
 	Template device.PopulationTemplate
+	// ReuseTestbeds recycles one testbed arena per shard worker through
+	// experiment.Testbed.Reset instead of building each home's testbed from
+	// scratch. Purely an allocation optimisation: recycled homes are
+	// byte-identical to fresh ones (the experiment package's identity tests
+	// prove it), so the flag changes neither results nor campaign identity —
+	// checkpoints written with it off resume with it on and vice versa.
+	ReuseTestbeds bool
 	// Progress, when set, is called after every completed shard with the
 	// number of completed shards (including resumed ones) and the total.
 	Progress func(done, total int)
@@ -187,8 +195,16 @@ func (c Campaign) runShard(idx int) ShardResult {
 	}
 	tallies := make(map[string]*ModelTally)
 	snaps := make([]obs.Snapshot, 0, n)
+	// With ReuseTestbeds on, one arena cycles through the shard's homes;
+	// runHome hands it back (or a replacement) after each home. Amortised
+	// over ShardSize homes, steady-state testbed construction allocates
+	// almost nothing.
+	var arena *experiment.Testbed
 	for i := 0; i < n; i++ {
-		hr := runHome(c.Spec, GenerateHome(pc, first+i))
+		hr, tb := runHome(c.Spec, GenerateHome(pc, first+i), arena)
+		if c.ReuseTestbeds {
+			arena = tb
+		}
 		if hr.err != nil {
 			sr.HomesFailed++
 			if len(sr.Errors) < maxShardErrors {

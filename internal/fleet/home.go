@@ -44,31 +44,48 @@ type homeResult struct {
 // against its targets and returns the compact result. The home simulation
 // is single-threaded and owns all its state, so many runHome calls can
 // proceed concurrently on independent homes.
-func runHome(spec Spec, home HomeSpec) (res homeResult) {
+//
+// reuse, when non-nil, is a testbed arena from a previous home: it is
+// recycled through Testbed.Reset instead of building from scratch, which is
+// byte-identical to a fresh build. The second return value is the arena to
+// pass to the next home — the same one, a newly built one, or nil if this
+// home produced no usable testbed (a failed Reset falls back to a fresh
+// build for this home rather than failing it).
+func runHome(spec Spec, home HomeSpec, reuse *experiment.Testbed) (res homeResult, arena *experiment.Testbed) {
 	res = homeResult{index: home.Index, tallies: make(map[string]*ModelTally)}
 
 	targets := selectTargets(spec, home)
 	if len(targets) == 0 {
 		res.noTarget = true
-		return res
+		return res, reuse
 	}
 
-	tb, err := experiment.NewTestbed(experiment.TestbedConfig{
+	// Per-home traces would dominate the merged snapshot and their
+	// concatenation order is not worker-count independent; campaigns run
+	// traceless (TraceCap < 0 disables the ring before any component is
+	// instrumented, so nothing ever writes an event).
+	cfg := experiment.TestbedConfig{
 		Seed:       home.Seed,
 		Devices:    home.Devices,
 		LANLatency: home.LANLatency,
 		WANLatency: home.WANLatency,
 		Jitter:     home.LinkJitter,
 		Overrides:  home.Overrides,
-	})
-	if err != nil {
-		res.err = err
-		return res
+		TraceCap:   -1,
 	}
-	// Per-home traces would dominate the merged snapshot and their
-	// concatenation order is not worker-count independent; campaigns run
-	// traceless.
-	tb.Metrics.SetTraceCapacity(0)
+	tb := reuse
+	if tb != nil {
+		if err := tb.Reset(cfg); err != nil {
+			tb = nil
+		}
+	}
+	if tb == nil {
+		var err error
+		if tb, err = experiment.NewTestbed(cfg); err != nil {
+			res.err = err
+			return res, nil
+		}
+	}
 	defer func() {
 		res.alarms = tb.TotalAlarmCount()
 		tb.Metrics.Counter("fleet_alarms_total").Add(uint64(res.alarms))
@@ -78,13 +95,13 @@ func runHome(spec Spec, home HomeSpec) (res homeResult) {
 	for _, r := range home.Rules {
 		if err := tb.InstallRule(r); err != nil {
 			res.err = err
-			return res
+			return res, tb
 		}
 	}
 	atk, err := tb.NewAttacker()
 	if err != nil {
 		res.err = err
-		return res
+		return res, tb
 	}
 	// One hijack per session owner, shared by targets riding the same hub.
 	hijackers := make(map[string]*core.Hijacker)
@@ -96,7 +113,7 @@ func runHome(spec Spec, home HomeSpec) (res homeResult) {
 		h, err := tb.Hijack(atk, label)
 		if err != nil {
 			res.err = err
-			return res
+			return res, tb
 		}
 		hijackers[owner] = h
 	}
@@ -106,15 +123,15 @@ func runHome(spec Spec, home HomeSpec) (res homeResult) {
 		h := hijackers[tb.SessionOwnerProfile(label).Label]
 		if err := attackTarget(tb, h, spec, label, res.tallies); err != nil {
 			res.err = fmt.Errorf("home %d target %s: %w", home.Index, label, err)
-			return res
+			return res, tb
 		}
 	}
-	return res
+	return res, tb
 }
 
 // selectTargets picks the campaign's targets in deployment order.
 func selectTargets(spec Spec, home HomeSpec) []string {
-	byLabel := device.ByLabel()
+	byLabel := device.Index()
 	var out []string
 	for _, l := range home.Devices {
 		p := byLabel[l]

@@ -71,7 +71,7 @@ func GenerateHome(cfg PopulationConfig, index int) HomeSpec {
 		LinkJitter: 0.05 + 0.1*rng.Float64(),
 	}
 	if cfg.TimingJitter > 0 {
-		byLabel := device.ByLabel()
+		byLabel := device.Index()
 		for _, l := range home.Devices {
 			home.Overrides = append(home.Overrides, byLabel[l].WithTimingJitter(rng, cfg.TimingJitter))
 		}
@@ -87,7 +87,7 @@ func sampleRules(rng *simtime.Rand, home HomeSpec, max int) []rules.Rule {
 	if max <= 0 {
 		return nil
 	}
-	byLabel := device.ByLabel()
+	byLabel := device.Index()
 	var out []rules.Rule
 	n := rng.Intn(max + 1)
 	for i := 0; i < n; i++ {

@@ -1,0 +1,94 @@
+package fleet
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReuseTestbedsByteIdentity is the campaign-level face of the arena's
+// byte-identity contract: flipping ReuseTestbeds changes allocation
+// behaviour only. Results — tallies, alarms, merged metric snapshots — and
+// checkpoints are byte-identical with the flag on and off.
+func TestReuseTestbedsByteIdentity(t *testing.T) {
+	var wantResult, wantCk []byte
+	for _, reuse := range []bool{false, true} {
+		c := testCampaign(t)
+		c.ReuseTestbeds = reuse
+		c.CheckpointPath = filepath.Join(t.TempDir(), "ck.json")
+		res, err := c.Run()
+		if err != nil {
+			t.Fatalf("reuse=%v: %v", reuse, err)
+		}
+		if res.TotalTrials == 0 {
+			t.Fatalf("reuse=%v: campaign ran no trials", reuse)
+		}
+		gotResult := resultJSON(t, res)
+		gotCk, err := os.ReadFile(c.CheckpointPath)
+		if err != nil {
+			t.Fatalf("reuse=%v: %v", reuse, err)
+		}
+		if wantResult == nil {
+			wantResult, wantCk = gotResult, gotCk
+			continue
+		}
+		if !bytes.Equal(gotResult, wantResult) {
+			t.Errorf("reuse=%v: result differs from reuse=false", reuse)
+		}
+		if !bytes.Equal(gotCk, wantCk) {
+			t.Errorf("reuse=%v: checkpoint differs from reuse=false", reuse)
+		}
+	}
+}
+
+// TestReuseFlagOutsideCampaignIdentity pins the satellite decision on
+// checkpoint compatibility: because recycled homes are proven
+// byte-identical to fresh ones, ReuseTestbeds is deliberately NOT part of
+// the campaign identity. A checkpoint written with the flag off must
+// resume — and finish identically — with it on.
+func TestReuseFlagOutsideCampaignIdentity(t *testing.T) {
+	a := testCampaign(t)
+	b := testCampaign(t)
+	b.ReuseTestbeds = true
+	if a.identity().fingerprint() != b.identity().fingerprint() {
+		t.Fatal("fingerprint differs across ReuseTestbeds")
+	}
+
+	// Interrupted run with reuse off…
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	partial := testCampaign(t)
+	partial.CheckpointPath = ck
+	stopAfter := partial.shardCount() / 2
+	calls := 0
+	partial.OnShard = func(ShardResult, int, int) {
+		calls++
+		if calls == stopAfter {
+			panic("interrupt")
+		}
+	}
+	func() {
+		defer func() { _ = recover() }()
+		_, _ = partial.Run()
+	}()
+
+	// …resumed with reuse on must equal an uninterrupted plain run.
+	resumed := testCampaign(t)
+	resumed.ReuseTestbeds = true
+	resumed.CheckpointPath = ck
+	resRes, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := testCampaign(t)
+	plainRes, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultJSON(t, resRes), resultJSON(t, plainRes)) {
+		t.Error("resume across ReuseTestbeds flag changed the campaign result")
+	}
+	if _, err := os.ReadFile(ck); err != nil {
+		t.Fatal(err)
+	}
+}

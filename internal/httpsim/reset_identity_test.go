@@ -1,0 +1,155 @@
+package httpsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ipaddr"
+	"repro/internal/ipnet"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/proto"
+	"repro/internal/simtime"
+	"repro/internal/tcpsim"
+	"repro/internal/tlssim"
+)
+
+// recycleServerCfg keeps an idle timeout on so every accepted session
+// arms an idle timer — guaranteeing pending work at recycle time.
+func recycleServerCfg() ServerConfig { return ServerConfig{SessionIdleTimeout: 60 * time.Second} }
+
+// recycleLab owns the pooled pieces: clock, network, registry, stacks,
+// the handshake RNG and the cloud server itself.
+type recycleLab struct {
+	clk            *simtime.Clock
+	nw             *netsim.Network
+	reg            *obs.Registry
+	devIP, srvIP   *ipnet.Stack
+	devTCP, srvTCP *tcpsim.Stack
+	rng            *simtime.Rand
+	server         *Server
+}
+
+func newRecycleLab() *recycleLab {
+	clk := simtime.NewClock()
+	l := &recycleLab{clk: clk, nw: netsim.NewNetwork(clk, 1), reg: obs.NewRegistry(), rng: simtime.NewRand(99)}
+	seg := l.nw.NewSegment("lan", time.Millisecond, 0)
+	l.devIP = ipnet.NewStack(clk, l.nw.NewHost("device"))
+	l.srvIP = ipnet.NewStack(clk, l.nw.NewHost("cloud"))
+	l.devIP.MustAddIface(seg, "192.168.1.10/24")
+	l.srvIP.MustAddIface(seg, "192.168.1.20/24")
+	l.devTCP = tcpsim.NewStack(clk, l.devIP, tcpsim.Config{}, 7)
+	l.srvTCP = tcpsim.NewStack(clk, l.srvIP, tcpsim.Config{}, 8)
+	l.server = NewServer(clk, recycleServerCfg())
+	clk.Instrument(l.reg)
+	return l
+}
+
+func (l *recycleLab) recycle() {
+	l.clk.Reset()
+	l.nw.Reset(1)
+	l.reg.Reset()
+	seg := l.nw.NewSegment("lan", time.Millisecond, 0)
+	l.devIP.Reset(l.nw.NewHost("device"))
+	l.srvIP.Reset(l.nw.NewHost("cloud"))
+	l.devIP.MustAddIface(seg, "192.168.1.10/24")
+	l.srvIP.MustAddIface(seg, "192.168.1.20/24")
+	l.devTCP.Reset(l.devIP, tcpsim.Config{}, 7)
+	l.srvTCP.Reset(l.srvIP, tcpsim.Config{}, 8)
+	l.rng.Reseed(99)
+	l.server.Reset(recycleServerCfg())
+	l.clk.Instrument(l.reg)
+}
+
+// drive establishes a keep-alive session, sends two event requests,
+// delivers a server-initiated command, then closes — fingerprinting the
+// request/response transcript, command outcome, alarms, a sentinel RNG
+// draw and the metrics snapshot.
+func (l *recycleLab) drive(t *testing.T) string {
+	t.Helper()
+	var lines []string
+	l.server.OnRequest = func(s *Session, m Message) {
+		lines = append(lines, fmt.Sprintf("req:%s:%s:%q@%v", s.DeviceID(), m.Path, m.Body, l.clk.Now()))
+	}
+	if _, err := l.srvTCP.Listen(443, func(c *tcpsim.Conn) {
+		l.server.Accept(tlssim.Server(c, l.rng))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := ClientConfig{
+		DeviceID:         "cam-1",
+		KeepAlive:        10 * time.Second,
+		Pattern:          proto.PatternOnIdle,
+		KeepAliveTimeout: 5 * time.Second,
+		ResponseTimeout:  8 * time.Second,
+	}
+	cli := NewClient(l.clk, tlssim.Client(l.devTCP.Dial(tcpsim.Endpoint{Addr: ipaddr.MustParse("192.168.1.20"), Port: 443}), l.rng), cfg)
+	cli.OnResponse = func(m Message) { lines = append(lines, fmt.Sprintf("resp:%d:%d@%v", m.ID, m.Status, l.clk.Now())) }
+	cli.OnCommand = func(m Message) { lines = append(lines, fmt.Sprintf("cmd:%s:%q@%v", m.Path, m.Body, l.clk.Now())) }
+	l.clk.RunFor(time.Second)
+	if !cli.Ready() {
+		t.Fatal("session did not establish")
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := cli.Request("/event", []byte(fmt.Sprintf("motion-%d", i)), 256); err != nil {
+			t.Fatal(err)
+		}
+		l.clk.RunFor(3 * time.Second)
+	}
+	if err := l.server.Command("cam-1", "/command", []byte("reboot"), 128, 5*time.Second, func(r CommandResult) {
+		lines = append(lines, fmt.Sprintf("cmdres:%v:%v@%v", r.Acked, r.Duration, l.clk.Now()))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	l.clk.RunFor(12 * time.Second) // a keep-alive cycle rides along
+	cli.Close()
+	l.clk.RunFor(2 * time.Second)
+	alarms, err := json.Marshal(l.server.Alarms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := json.Marshal(l.reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("lines=%v ready=%v alarms=%s draw=%d now=%v snap=%s",
+		lines, cli.Ready(), alarms, l.rng.Intn(1<<30), l.clk.Now(), snap)
+}
+
+// TestServerResetByteIdentity recycles a server whose previous life left a
+// bound session with its idle timer armed and a client keep-alive pending,
+// and requires the revived server to replay a full request/command
+// exchange byte-identically to a fresh one, across two generations.
+func TestServerResetByteIdentity(t *testing.T) {
+	fresh := newRecycleLab().drive(t)
+
+	l := newRecycleLab()
+	if _, err := l.srvTCP.Listen(443, func(c *tcpsim.Conn) {
+		l.server.Accept(tlssim.Server(c, l.rng))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(l.clk, tlssim.Client(l.devTCP.Dial(tcpsim.Endpoint{Addr: ipaddr.MustParse("192.168.1.20"), Port: 443}), l.rng),
+		ClientConfig{DeviceID: "cam-9", KeepAlive: 30 * time.Second, Pattern: proto.PatternFixed, KeepAliveTimeout: 10 * time.Second})
+	l.clk.RunFor(2 * time.Second)
+	if !cli.Ready() {
+		t.Fatal("setup session did not establish")
+	}
+	// Session bound, idle timer and keep-alive timer both pending.
+	l.recycle()
+	for _, g := range l.reg.Snapshot().Gauges {
+		if g.Name == "simtime_queue_depth" && (g.Value != 0 || g.Max != 0) {
+			t.Fatalf("simtime_queue_depth after recycle = %d (max %d), want 0", g.Value, g.Max)
+		}
+	}
+	if got := l.drive(t); got != fresh {
+		t.Errorf("recycled server diverged from fresh\n fresh: %s\n reuse: %s", fresh, got)
+	}
+
+	l.recycle()
+	if got := l.drive(t); got != fresh {
+		t.Errorf("second recycling generation diverged from fresh\n fresh: %s\n reuse: %s", fresh, got)
+	}
+}

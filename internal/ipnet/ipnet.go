@@ -38,15 +38,39 @@ const headerLen = 12
 
 // Marshal encodes the packet for a frame payload.
 func (p Packet) Marshal() []byte {
-	b := make([]byte, headerLen+len(p.Payload))
-	b[0] = byte(p.Proto)
-	b[1] = p.TTL
+	return p.AppendTo(nil)
+}
+
+// AppendTo encodes the packet onto b (usually a reusable scratch buffer)
+// and returns the extended slice.
+func (p Packet) AppendTo(b []byte) []byte {
+	n := len(b)
+	b = grow(b, headerLen+len(p.Payload))
+	out := b[n:]
+	out[0] = byte(p.Proto)
+	out[1] = p.TTL
 	src := p.Src.Bytes()
 	dst := p.Dst.Bytes()
-	copy(b[2:6], src[:])
-	copy(b[6:10], dst[:])
-	binary.BigEndian.PutUint16(b[10:12], uint16(len(p.Payload)))
-	copy(b[headerLen:], p.Payload)
+	copy(out[2:6], src[:])
+	copy(out[6:10], dst[:])
+	binary.BigEndian.PutUint16(out[10:12], uint16(len(p.Payload)))
+	copy(out[headerLen:], p.Payload)
+	return b
+}
+
+// grow extends b by n zero-initialised bytes, reallocating only when the
+// capacity is short.
+func grow(b []byte, n int) []byte {
+	l := len(b)
+	if cap(b)-l < n {
+		nb := make([]byte, l+n, l+n)
+		copy(nb, b)
+		return nb
+	}
+	b = b[:l+n]
+	for i := l; i < len(b); i++ {
+		b[i] = 0
+	}
 	return b
 }
 
@@ -134,6 +158,13 @@ type Stack struct {
 	// interception point for traffic redirected to it by ARP poisoning.
 	Divert func(Packet) bool
 	stats  Stats
+	// txbuf is the marshal scratch for the synchronous send path. It is
+	// safe to reuse per send because netsim copies the frame payload into
+	// its own pooled buffer before Send returns.
+	txbuf []byte
+	// ifaceFree pools detached interfaces (ARP client included) so a reset
+	// stack rebuilds its attachments without allocating.
+	ifaceFree []*Iface
 }
 
 // NewStack creates a network stack for the host.
@@ -143,6 +174,28 @@ func NewStack(clk *simtime.Clock, host *netsim.Host) *Stack {
 		host:     host,
 		handlers: make(map[Protocol]func(Packet)),
 	}
+}
+
+// Reset rebinds the stack to a (freshly created or revived) host and
+// returns it to its freshly constructed state while keeping its
+// allocations: interfaces are parked for AddIface to revive, routes and
+// handlers are dropped, and forwarding/divert behaviour reverts to the
+// defaults. A reset stack behaves byte-identically to NewStack(clk, host).
+func (s *Stack) Reset(host *netsim.Host) {
+	s.host = host
+	for i, ifc := range s.ifaces {
+		ifc.arp.Reset(nil, 0)
+		ifc.nic = nil
+		s.ifaceFree = append(s.ifaceFree, ifc)
+		s.ifaces[i] = nil
+	}
+	s.ifaces = s.ifaces[:0]
+	clear(s.routes)
+	s.routes = s.routes[:0]
+	clear(s.handlers)
+	s.Forwarding = false
+	s.Divert = nil
+	s.stats = Stats{}
 }
 
 // Host returns the owning host.
@@ -162,12 +215,17 @@ func (s *Stack) AddIface(seg *netsim.Segment, cidr string) (*Iface, error) {
 		return nil, err
 	}
 	nic := s.host.AttachNIC(seg)
-	ifc := &Iface{
-		nic:    nic,
-		addr:   pfx.Addr,
-		prefix: pfx,
-		arp:    arp.NewClient(s.clk, nic, pfx.Addr, arp.Config{}),
+	ifc := &Iface{}
+	if k := len(s.ifaceFree); k > 0 {
+		ifc, s.ifaceFree[k-1] = s.ifaceFree[k-1], nil
+		s.ifaceFree = s.ifaceFree[:k-1]
+		ifc.arp.Reset(nic, pfx.Addr)
+	} else {
+		ifc.arp = arp.NewClient(s.clk, nic, pfx.Addr, arp.Config{})
 	}
+	ifc.nic = nic
+	ifc.addr = pfx.Addr
+	ifc.prefix = pfx
 	nic.SetHandler(func(_ *netsim.NIC, f netsim.Frame) { s.receiveFrame(ifc, f) })
 	s.ifaces = append(s.ifaces, ifc)
 	s.routes = append(s.routes, Route{Prefix: pfx, Iface: ifc})
@@ -245,6 +303,22 @@ func (s *Stack) Send(p Packet) error {
 	}
 	s.stats.Sent++
 	ifc := rt.Iface
+	// Fast path: with the next hop already in the ARP cache the whole send
+	// is synchronous, so the packet marshals into the stack's scratch
+	// buffer (netsim copies the payload before Send returns).
+	if mac, ok := ifc.arp.Lookup(nextHop); ok {
+		s.txbuf = p.AppendTo(s.txbuf[:0])
+		ifc.nic.Send(netsim.Frame{
+			Dst:     mac,
+			Type:    netsim.EtherTypeIPv4,
+			Payload: s.txbuf,
+		})
+		return nil
+	}
+	// Slow path: resolution defers the send, so the packet — whose payload
+	// may alias a caller's scratch or a pooled frame buffer — must be
+	// detached before it is captured.
+	p.Payload = append([]byte(nil), p.Payload...)
 	ifc.arp.Resolve(nextHop, func(mac netsim.MAC, ok bool) {
 		if !ok {
 			s.stats.Dropped++

@@ -1,0 +1,147 @@
+package mqttsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ipaddr"
+	"repro/internal/ipnet"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/proto"
+	"repro/internal/simtime"
+	"repro/internal/tcpsim"
+	"repro/internal/tlssim"
+)
+
+// recycleBrokerCfg keeps keep-alive enforcement on so every connected
+// session arms a deadline timer — guaranteeing pending work at recycle
+// time.
+func recycleBrokerCfg() BrokerConfig { return BrokerConfig{EnforceKeepAlive: true} }
+
+// recycleLab owns the pooled pieces: clock, network, registry, stacks,
+// the handshake RNG and the broker itself.
+type recycleLab struct {
+	clk            *simtime.Clock
+	nw             *netsim.Network
+	reg            *obs.Registry
+	devIP, srvIP   *ipnet.Stack
+	devTCP, srvTCP *tcpsim.Stack
+	rng            *simtime.Rand
+	broker         *Broker
+}
+
+func newRecycleLab() *recycleLab {
+	clk := simtime.NewClock()
+	l := &recycleLab{clk: clk, nw: netsim.NewNetwork(clk, 1), reg: obs.NewRegistry(), rng: simtime.NewRand(99)}
+	seg := l.nw.NewSegment("lan", time.Millisecond, 0)
+	l.devIP = ipnet.NewStack(clk, l.nw.NewHost("device"))
+	l.srvIP = ipnet.NewStack(clk, l.nw.NewHost("broker"))
+	l.devIP.MustAddIface(seg, "192.168.1.10/24")
+	l.srvIP.MustAddIface(seg, "192.168.1.20/24")
+	l.devTCP = tcpsim.NewStack(clk, l.devIP, tcpsim.Config{}, 7)
+	l.srvTCP = tcpsim.NewStack(clk, l.srvIP, tcpsim.Config{}, 8)
+	l.broker = NewBroker(clk, recycleBrokerCfg())
+	clk.Instrument(l.reg)
+	return l
+}
+
+func (l *recycleLab) recycle() {
+	l.clk.Reset()
+	l.nw.Reset(1)
+	l.reg.Reset()
+	seg := l.nw.NewSegment("lan", time.Millisecond, 0)
+	l.devIP.Reset(l.nw.NewHost("device"))
+	l.srvIP.Reset(l.nw.NewHost("broker"))
+	l.devIP.MustAddIface(seg, "192.168.1.10/24")
+	l.srvIP.MustAddIface(seg, "192.168.1.20/24")
+	l.devTCP.Reset(l.devIP, tcpsim.Config{}, 7)
+	l.srvTCP.Reset(l.srvIP, tcpsim.Config{}, 8)
+	l.rng.Reseed(99)
+	l.broker.Reset(recycleBrokerCfg())
+	l.clk.Instrument(l.reg)
+}
+
+// drive connects a device client, subscribes, publishes with ack, rides
+// through two keep-alive cycles and disconnects, fingerprinting the
+// broker-side event transcript, alarms, client state, a sentinel RNG draw
+// and the metrics snapshot.
+func (l *recycleLab) drive(t *testing.T) string {
+	t.Helper()
+	var lines []string
+	l.broker.OnConnect = func(s *Session) {
+		lines = append(lines, fmt.Sprintf("connect:%s@%v", s.ClientID(), l.clk.Now()))
+	}
+	l.broker.OnPublish = func(s *Session, p Packet) {
+		lines = append(lines, fmt.Sprintf("pub:%s:%s:%q@%v", s.ClientID(), p.Topic, p.Payload, l.clk.Now()))
+	}
+	if _, err := l.srvTCP.Listen(8883, func(c *tcpsim.Conn) {
+		l.broker.Accept(tlssim.Server(c, l.rng))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := ClientConfig{ClientID: "dev-1", KeepAlive: 10 * time.Second, Pattern: proto.PatternOnIdle, PingTimeout: 5 * time.Second}
+	cli := NewClient(l.clk, tlssim.Client(l.devTCP.Dial(tcpsim.Endpoint{Addr: ipaddr.MustParse("192.168.1.20"), Port: 8883}), l.rng), cfg)
+	cli.OnConnected = func() { lines = append(lines, fmt.Sprintf("connack@%v", l.clk.Now())) }
+	l.clk.RunFor(2 * time.Second)
+	if !cli.Connected() {
+		t.Fatal("client did not connect")
+	}
+	if err := cli.Subscribe("cmd/dev-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Publish("events/dev-1", []byte("motion"), 128, true); err != nil {
+		t.Fatal(err)
+	}
+	l.clk.RunFor(25 * time.Second) // two keep-alive ping cycles
+	cli.Disconnect()
+	l.clk.RunFor(2 * time.Second)
+	alarms, err := json.Marshal(l.broker.Alarms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := json.Marshal(l.reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("lines=%v connected=%v alarms=%s draw=%d now=%v snap=%s",
+		lines, cli.Connected(), alarms, l.rng.Intn(1<<30), l.clk.Now(), snap)
+}
+
+// TestBrokerResetByteIdentity recycles a broker whose previous life left a
+// connected session with its keep-alive enforcement deadline armed and
+// requires the revived broker to replay a full connect/publish/ping
+// exchange byte-identically to a fresh one, across two generations.
+func TestBrokerResetByteIdentity(t *testing.T) {
+	fresh := newRecycleLab().drive(t)
+
+	l := newRecycleLab()
+	if _, err := l.srvTCP.Listen(8883, func(c *tcpsim.Conn) {
+		l.broker.Accept(tlssim.Server(c, l.rng))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := ClientConfig{ClientID: "dev-9", KeepAlive: 30 * time.Second, Pattern: proto.PatternOnIdle, PingTimeout: 15 * time.Second}
+	cli := NewClient(l.clk, tlssim.Client(l.devTCP.Dial(tcpsim.Endpoint{Addr: ipaddr.MustParse("192.168.1.20"), Port: 8883}), l.rng), cfg)
+	l.clk.RunFor(3 * time.Second)
+	if !cli.Connected() {
+		t.Fatal("setup client did not connect")
+	}
+	// Session live, enforcement deadline and client ping timer both pending.
+	l.recycle()
+	for _, g := range l.reg.Snapshot().Gauges {
+		if g.Name == "simtime_queue_depth" && (g.Value != 0 || g.Max != 0) {
+			t.Fatalf("simtime_queue_depth after recycle = %d (max %d), want 0", g.Value, g.Max)
+		}
+	}
+	if got := l.drive(t); got != fresh {
+		t.Errorf("recycled broker diverged from fresh\n fresh: %s\n reuse: %s", fresh, got)
+	}
+
+	l.recycle()
+	if got := l.drive(t); got != fresh {
+		t.Errorf("second recycling generation diverged from fresh\n fresh: %s\n reuse: %s", fresh, got)
+	}
+}

@@ -47,9 +47,55 @@ func labelKey(name string, labels []Label) string {
 	return b.String()
 }
 
+// appendKey is labelKey into a caller-owned scratch buffer. The registry's
+// lookup path builds keys this way and probes its maps with string(buf),
+// which the compiler compiles without materialising a string — the key
+// string is only allocated when a genuinely new metric registers.
+func appendKey(b []byte, name string, labels []Label) []byte {
+	b = append(b, name...)
+	for _, l := range labels {
+		b = append(b, '{')
+		b = append(b, l.Key...)
+		b = append(b, '=')
+		b = append(b, l.Value...)
+		b = append(b, '}')
+	}
+	return b
+}
+
+// compareMetric orders metric identities by name, then pairwise by label
+// key and value, with a shorter label list sorting first. This tuple order
+// is the one canonical metric order: registration, Snapshot and Merge all
+// use it, so merge-joins over snapshots never need to build key strings.
+func compareMetric(nameA string, labelsA []Label, nameB string, labelsB []Label) int {
+	if c := strings.Compare(nameA, nameB); c != 0 {
+		return c
+	}
+	n := len(labelsA)
+	if len(labelsB) < n {
+		n = len(labelsB)
+	}
+	for i := 0; i < n; i++ {
+		if c := strings.Compare(labelsA[i].Key, labelsB[i].Key); c != 0 {
+			return c
+		}
+		if c := strings.Compare(labelsA[i].Value, labelsB[i].Value); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(labelsA) < len(labelsB):
+		return -1
+	case len(labelsA) > len(labelsB):
+		return 1
+	}
+	return 0
+}
+
 // Counter is a monotonically increasing count.
 type Counter struct {
 	name   string
+	key    string
 	labels []Label
 	v      uint64
 }
@@ -81,6 +127,7 @@ func (c *Counter) Value() uint64 {
 // Gauge is an instantaneous value that also tracks its high-water mark.
 type Gauge struct {
 	name   string
+	key    string
 	labels []Label
 	v      int64
 	max    int64
@@ -126,6 +173,7 @@ func (g *Gauge) Max() int64 {
 // >= the value, or in the implicit +Inf overflow bucket.
 type Histogram struct {
 	name   string
+	key    string
 	labels []Label
 	bounds []float64
 	counts []uint64 // len(bounds)+1; last is +Inf
@@ -187,11 +235,21 @@ var CountBuckets = []float64{
 // valid "off" registry: every constructor returns a nil handle and every
 // handle method no-ops.
 type Registry struct {
+	// counters/gauges/hists are maintained in labelKey order (binary
+	// insertion on first registration), so Snapshot emits deterministically
+	// without sorting.
 	counters []*Counter
 	gauges   []*Gauge
 	hists    []*Histogram
 	byKey    map[string]any
-	trace    *Trace
+	// recycle parks handles across Reset so a recycled registry reaches a
+	// zero-alloc steady state once its key universe has been seen.
+	recycle map[string]any
+	// keybuf is the lookup-key scratch; handle constructors probe byKey and
+	// recycle with string(keybuf), allocating a key string only on a true
+	// first registration.
+	keybuf []byte
+	trace  *Trace
 }
 
 // NewRegistry creates an empty registry with a default-sized trace buffer.
@@ -202,6 +260,48 @@ func NewRegistry() *Registry {
 	}
 }
 
+// Reset returns the registry to its freshly constructed state while keeping
+// its allocations: every live handle is parked in a recycle pool and handed
+// back — zeroed — when the same name+labels are registered again, and the
+// trace ring is cleared in place. A reset registry's Snapshot is
+// byte-identical to a new registry's after the same registration and
+// mutation sequence.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	if r.recycle == nil {
+		r.recycle = make(map[string]any, len(r.byKey))
+	}
+	for k, m := range r.byKey {
+		r.recycle[k] = m
+		delete(r.byKey, k)
+	}
+	r.counters = r.counters[:0]
+	r.gauges = r.gauges[:0]
+	r.hists = r.hists[:0]
+	r.trace.Reset()
+}
+
+// insertSorted places h at its tuple-ordered position in s.
+func insertSorted[T any](s []*T, less func(a, b *T) bool, h *T) []*T {
+	i := sort.Search(len(s), func(i int) bool { return less(h, s[i]) })
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = h
+	return s
+}
+
+func counterLess(a, b *Counter) bool {
+	return compareMetric(a.name, a.labels, b.name, b.labels) < 0
+}
+func gaugeLess(a, b *Gauge) bool {
+	return compareMetric(a.name, a.labels, b.name, b.labels) < 0
+}
+func histogramLess(a, b *Histogram) bool {
+	return compareMetric(a.name, a.labels, b.name, b.labels) < 0
+}
+
 // Counter returns the counter with the given name and labels, creating it
 // on first use. Repeated calls with equal name+labels return the same
 // handle.
@@ -209,17 +309,27 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	k := labelKey(name, labels)
-	if m, ok := r.byKey[k]; ok {
+	r.keybuf = appendKey(r.keybuf[:0], name, labels)
+	if m, ok := r.byKey[string(r.keybuf)]; ok {
 		c, ok := m.(*Counter)
 		if !ok {
-			panic(fmt.Sprintf("obs: %s already registered as a different metric type", k))
+			panic(fmt.Sprintf("obs: %s already registered as a different metric type", string(r.keybuf)))
 		}
 		return c
 	}
-	c := &Counter{name: name, labels: labels}
-	r.byKey[k] = c
-	r.counters = append(r.counters, c)
+	var c *Counter
+	if m, ok := r.recycle[string(r.keybuf)]; ok {
+		if rc, ok := m.(*Counter); ok {
+			delete(r.recycle, rc.key)
+			rc.v = 0
+			c = rc
+		}
+	}
+	if c == nil {
+		c = &Counter{name: name, key: string(r.keybuf), labels: labels}
+	}
+	r.byKey[c.key] = c
+	r.counters = insertSorted(r.counters, counterLess, c)
 	return c
 }
 
@@ -229,17 +339,27 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
-	k := labelKey(name, labels)
-	if m, ok := r.byKey[k]; ok {
+	r.keybuf = appendKey(r.keybuf[:0], name, labels)
+	if m, ok := r.byKey[string(r.keybuf)]; ok {
 		g, ok := m.(*Gauge)
 		if !ok {
-			panic(fmt.Sprintf("obs: %s already registered as a different metric type", k))
+			panic(fmt.Sprintf("obs: %s already registered as a different metric type", string(r.keybuf)))
 		}
 		return g
 	}
-	g := &Gauge{name: name, labels: labels}
-	r.byKey[k] = g
-	r.gauges = append(r.gauges, g)
+	var g *Gauge
+	if m, ok := r.recycle[string(r.keybuf)]; ok {
+		if rg, ok := m.(*Gauge); ok {
+			delete(r.recycle, rg.key)
+			rg.v, rg.max = 0, 0
+			g = rg
+		}
+	}
+	if g == nil {
+		g = &Gauge{name: name, key: string(r.keybuf), labels: labels}
+	}
+	r.byKey[g.key] = g
+	r.gauges = insertSorted(r.gauges, gaugeLess, g)
 	return g
 }
 
@@ -250,11 +370,11 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 	if r == nil {
 		return nil
 	}
-	k := labelKey(name, labels)
-	if m, ok := r.byKey[k]; ok {
+	r.keybuf = appendKey(r.keybuf[:0], name, labels)
+	if m, ok := r.byKey[string(r.keybuf)]; ok {
 		h, ok := m.(*Histogram)
 		if !ok {
-			panic(fmt.Sprintf("obs: %s already registered as a different metric type", k))
+			panic(fmt.Sprintf("obs: %s already registered as a different metric type", string(r.keybuf)))
 		}
 		return h
 	}
@@ -263,12 +383,35 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 			panic(fmt.Sprintf("obs: histogram %s bounds not ascending", name))
 		}
 	}
-	b := make([]float64, len(bounds))
-	copy(b, bounds)
-	h := &Histogram{name: name, labels: labels, bounds: b, counts: make([]uint64, len(b)+1)}
-	r.byKey[k] = h
-	r.hists = append(r.hists, h)
+	var h *Histogram
+	if m, ok := r.recycle[string(r.keybuf)]; ok {
+		if rh, ok := m.(*Histogram); ok && boundsEqual(rh.bounds, bounds) {
+			delete(r.recycle, rh.key)
+			clear(rh.counts)
+			rh.sum, rh.n = 0, 0
+			h = rh
+		}
+	}
+	if h == nil {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		h = &Histogram{name: name, key: string(r.keybuf), labels: labels, bounds: b, counts: make([]uint64, len(b)+1)}
+	}
+	r.byKey[h.key] = h
+	r.hists = insertSorted(r.hists, histogramLess, h)
 	return h
+}
+
+func boundsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Trace returns the registry's trace buffer (nil on a nil registry, which
@@ -282,8 +425,17 @@ func (r *Registry) Trace() *Trace {
 
 // SetTraceCapacity replaces the trace buffer with one of the given
 // capacity, discarding buffered events. A capacity of 0 disables tracing.
+// When the capacity is unchanged the existing ring is cleared in place, so
+// handles that captured it stay valid and nothing reallocates.
 func (r *Registry) SetTraceCapacity(n int) {
 	if r == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	if r.trace != nil && r.trace.capn == n {
+		r.trace.Reset()
 		return
 	}
 	r.trace = NewTrace(n)
@@ -332,7 +484,10 @@ type HistogramValue struct {
 
 // Snapshot copies the registry's current state. Metrics are emitted in a
 // deterministic order (sorted by name, then labels) so equal runs produce
-// byte-identical snapshots.
+// byte-identical snapshots. Label slices and histogram bounds are shared
+// with the registry's handles — both are immutable after registration —
+// while every mutable field (values, histogram counts, trace events) is
+// copied, so the snapshot stays a stable value as the simulation runs on.
 func (r *Registry) Snapshot() Snapshot {
 	var s Snapshot
 	if r == nil {
@@ -340,21 +495,19 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	s.Counters = make([]CounterValue, 0, len(r.counters))
 	for _, c := range r.counters {
-		s.Counters = append(s.Counters, CounterValue{Name: c.name, Labels: copyLabels(c.labels), Value: c.v})
+		s.Counters = append(s.Counters, CounterValue{Name: c.name, Labels: c.labels, Value: c.v})
 	}
 	s.Gauges = make([]GaugeValue, 0, len(r.gauges))
 	for _, g := range r.gauges {
-		s.Gauges = append(s.Gauges, GaugeValue{Name: g.name, Labels: copyLabels(g.labels), Value: g.v, Max: g.max})
+		s.Gauges = append(s.Gauges, GaugeValue{Name: g.name, Labels: g.labels, Value: g.v, Max: g.max})
 	}
 	s.Histograms = make([]HistogramValue, 0, len(r.hists))
 	for _, h := range r.hists {
 		counts := make([]uint64, len(h.counts))
 		copy(counts, h.counts)
-		bounds := make([]float64, len(h.bounds))
-		copy(bounds, h.bounds)
 		s.Histograms = append(s.Histograms, HistogramValue{
-			Name: h.name, Labels: copyLabels(h.labels),
-			Bounds: bounds, Counts: counts, Sum: h.sum, Count: h.n,
+			Name: h.name, Labels: h.labels,
+			Bounds: h.bounds, Counts: counts, Sum: h.sum, Count: h.n,
 		})
 	}
 	if r.trace != nil {
@@ -363,7 +516,8 @@ func (r *Registry) Snapshot() Snapshot {
 		s.TraceDiscarded = r.trace.Discarded()
 		s.TraceDropped = r.trace.Dropped()
 	}
-	s.sort()
+	// The registry's handle slices are maintained in key order, so the
+	// snapshot is already sorted.
 	return s
 }
 
@@ -378,14 +532,41 @@ func copyLabels(ls []Label) []Label {
 
 func (s *Snapshot) sort() {
 	sort.Slice(s.Counters, func(i, j int) bool {
-		return labelKey(s.Counters[i].Name, s.Counters[i].Labels) < labelKey(s.Counters[j].Name, s.Counters[j].Labels)
+		return compareMetric(s.Counters[i].Name, s.Counters[i].Labels, s.Counters[j].Name, s.Counters[j].Labels) < 0
 	})
 	sort.Slice(s.Gauges, func(i, j int) bool {
-		return labelKey(s.Gauges[i].Name, s.Gauges[i].Labels) < labelKey(s.Gauges[j].Name, s.Gauges[j].Labels)
+		return compareMetric(s.Gauges[i].Name, s.Gauges[i].Labels, s.Gauges[j].Name, s.Gauges[j].Labels) < 0
 	})
 	sort.Slice(s.Histograms, func(i, j int) bool {
-		return labelKey(s.Histograms[i].Name, s.Histograms[i].Labels) < labelKey(s.Histograms[j].Name, s.Histograms[j].Labels)
+		return compareMetric(s.Histograms[i].Name, s.Histograms[i].Labels, s.Histograms[j].Name, s.Histograms[j].Labels) < 0
 	})
+}
+
+func countersSorted(v []CounterValue) bool {
+	for i := 1; i < len(v); i++ {
+		if compareMetric(v[i-1].Name, v[i-1].Labels, v[i].Name, v[i].Labels) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func gaugesSorted(v []GaugeValue) bool {
+	for i := 1; i < len(v); i++ {
+		if compareMetric(v[i-1].Name, v[i-1].Labels, v[i].Name, v[i].Labels) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func histogramsSorted(v []HistogramValue) bool {
+	for i := 1; i < len(v); i++ {
+		if compareMetric(v[i-1].Name, v[i-1].Labels, v[i].Name, v[i].Labels) > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Counter returns the value of the named counter in the snapshot, or 0.
@@ -450,76 +631,130 @@ func (s Snapshot) Families() []string {
 // a metric's identity. Traces are concatenated in argument order. Merge
 // only touches plain values, so it is safe wherever the snapshots
 // themselves were safely produced.
+//
+// Registry snapshots are already in canonical tuple order, so the merge is
+// a sorted merge-join that never builds key strings; a hand-assembled
+// unsorted snapshot is detected and sorted into a copy first. The result
+// shares label slices (and pass-through histogram bounds/counts) with its
+// inputs — all immutable by the snapshot contract.
 func Merge(snaps ...Snapshot) Snapshot {
 	var out Snapshot
-	counters := make(map[string]*CounterValue)
-	gauges := make(map[string]*GaugeValue)
-	hists := make(map[string]*HistogramValue)
+	var scratchC []CounterValue
+	var scratchG []GaugeValue
+	var scratchH []HistogramValue
 	for _, s := range snaps {
-		for _, c := range s.Counters {
-			k := labelKey(c.Name, c.Labels)
-			if e, ok := counters[k]; ok {
-				e.Value += c.Value
-			} else {
-				cc := c
-				cc.Labels = copyLabels(c.Labels)
-				counters[k] = &cc
-			}
+		if !countersSorted(s.Counters) {
+			s.Counters = append([]CounterValue(nil), s.Counters...)
+			sort.Slice(s.Counters, func(i, j int) bool {
+				return compareMetric(s.Counters[i].Name, s.Counters[i].Labels, s.Counters[j].Name, s.Counters[j].Labels) < 0
+			})
 		}
-		for _, g := range s.Gauges {
-			k := labelKey(g.Name, g.Labels)
-			if e, ok := gauges[k]; ok {
-				e.Value += g.Value
-				if g.Max > e.Max {
-					e.Max = g.Max
-				}
-			} else {
-				gg := g
-				gg.Labels = copyLabels(g.Labels)
-				gauges[k] = &gg
-			}
+		if !gaugesSorted(s.Gauges) {
+			s.Gauges = append([]GaugeValue(nil), s.Gauges...)
+			sort.Slice(s.Gauges, func(i, j int) bool {
+				return compareMetric(s.Gauges[i].Name, s.Gauges[i].Labels, s.Gauges[j].Name, s.Gauges[j].Labels) < 0
+			})
 		}
-		for _, h := range s.Histograms {
-			k := labelKey(h.Name, h.Labels)
-			if e, ok := hists[k]; ok {
-				if len(e.Bounds) != len(h.Bounds) {
-					panic(fmt.Sprintf("obs: merge of histogram %s with mismatched bounds", k))
-				}
-				for i := range e.Bounds {
-					if e.Bounds[i] != h.Bounds[i] {
-						panic(fmt.Sprintf("obs: merge of histogram %s with mismatched bounds", k))
-					}
-				}
-				for i := range e.Counts {
-					e.Counts[i] += h.Counts[i]
-				}
-				e.Sum += h.Sum
-				e.Count += h.Count
-			} else {
-				hh := h
-				hh.Labels = copyLabels(h.Labels)
-				hh.Bounds = append([]float64(nil), h.Bounds...)
-				hh.Counts = append([]uint64(nil), h.Counts...)
-				hists[k] = &hh
-			}
+		if !histogramsSorted(s.Histograms) {
+			s.Histograms = append([]HistogramValue(nil), s.Histograms...)
+			sort.Slice(s.Histograms, func(i, j int) bool {
+				return compareMetric(s.Histograms[i].Name, s.Histograms[i].Labels, s.Histograms[j].Name, s.Histograms[j].Labels) < 0
+			})
 		}
+		out.Counters, scratchC = mergeCounters(scratchC[:0], out.Counters, s.Counters), out.Counters
+		out.Gauges, scratchG = mergeGauges(scratchG[:0], out.Gauges, s.Gauges), out.Gauges
+		out.Histograms, scratchH = mergeHistograms(scratchH[:0], out.Histograms, s.Histograms), out.Histograms
 		out.Trace = append(out.Trace, s.Trace...)
 		out.TraceEvicted += s.TraceEvicted
 		out.TraceDiscarded += s.TraceDiscarded
 		out.TraceDropped += s.TraceDropped
 	}
-	out.Counters = make([]CounterValue, 0, len(counters))
-	for _, c := range counters {
-		out.Counters = append(out.Counters, *c)
-	}
-	out.Gauges = make([]GaugeValue, 0, len(gauges))
-	for _, g := range gauges {
-		out.Gauges = append(out.Gauges, *g)
-	}
-	out.Histograms = make([]HistogramValue, 0, len(hists))
-	for _, h := range hists {
-		out.Histograms = append(out.Histograms, *h)
-	}
-	out.sort()
 	return out
+}
+
+// mergeCounters joins the accumulator acc with the sorted input b into dst.
+func mergeCounters(dst, acc, b []CounterValue) []CounterValue {
+	i, j := 0, 0
+	for i < len(acc) && j < len(b) {
+		switch c := compareMetric(acc[i].Name, acc[i].Labels, b[j].Name, b[j].Labels); {
+		case c < 0:
+			dst = append(dst, acc[i])
+			i++
+		case c > 0:
+			dst = append(dst, b[j])
+			j++
+		default:
+			m := acc[i]
+			m.Value += b[j].Value
+			dst = append(dst, m)
+			i++
+			j++
+		}
+	}
+	dst = append(dst, acc[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
+func mergeGauges(dst, acc, b []GaugeValue) []GaugeValue {
+	i, j := 0, 0
+	for i < len(acc) && j < len(b) {
+		switch c := compareMetric(acc[i].Name, acc[i].Labels, b[j].Name, b[j].Labels); {
+		case c < 0:
+			dst = append(dst, acc[i])
+			i++
+		case c > 0:
+			dst = append(dst, b[j])
+			j++
+		default:
+			m := acc[i]
+			m.Value += b[j].Value
+			if b[j].Max > m.Max {
+				m.Max = b[j].Max
+			}
+			dst = append(dst, m)
+			i++
+			j++
+		}
+	}
+	dst = append(dst, acc[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
+// mergeHistograms joins acc with b. A combine allocates fresh Counts — an
+// accumulator entry may still alias an input snapshot's slice, which must
+// never be mutated. Entries that never combine pass through untouched.
+func mergeHistograms(dst, acc, b []HistogramValue) []HistogramValue {
+	i, j := 0, 0
+	for i < len(acc) && j < len(b) {
+		switch c := compareMetric(acc[i].Name, acc[i].Labels, b[j].Name, b[j].Labels); {
+		case c < 0:
+			dst = append(dst, acc[i])
+			i++
+		case c > 0:
+			dst = append(dst, b[j])
+			j++
+		default:
+			m := acc[i]
+			h := b[j]
+			if !boundsEqual(m.Bounds, h.Bounds) {
+				panic(fmt.Sprintf("obs: merge of histogram %s with mismatched bounds", labelKey(m.Name, m.Labels)))
+			}
+			counts := make([]uint64, len(m.Counts))
+			copy(counts, m.Counts)
+			for k := range counts {
+				counts[k] += h.Counts[k]
+			}
+			m.Counts = counts
+			m.Sum += h.Sum
+			m.Count += h.Count
+			dst = append(dst, m)
+			i++
+			j++
+		}
+	}
+	dst = append(dst, acc[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
 }

@@ -27,8 +27,13 @@ type TraceEvent struct {
 // Trace is a fixed-capacity ring buffer of TraceEvents. Like the rest of
 // the package it is single-writer: append from the simulation goroutine,
 // read after the run. A nil *Trace drops everything.
+//
+// The backing array is allocated lazily on the first Add, so an enabled
+// but never-written trace (a fleet worker that disables tracing right
+// after construction) costs a couple of words, not capacity*sizeof(event).
 type Trace struct {
 	buf     []TraceEvent
+	capn    int
 	next    int
 	wrapped bool
 	// evicted counts stored events later overwritten by ring wraparound;
@@ -45,25 +50,42 @@ func NewTrace(capacity int) *Trace {
 	if capacity <= 0 {
 		return &Trace{}
 	}
-	return &Trace{buf: make([]TraceEvent, 0, capacity)}
+	return &Trace{capn: capacity}
 }
 
 // Add appends an event, evicting the oldest once the ring is full.
 func (t *Trace) Add(ev TraceEvent) {
-	if t == nil || cap(t.buf) == 0 {
+	if t == nil || t.capn == 0 {
 		if t != nil {
 			t.discarded++
 		}
 		return
 	}
-	if len(t.buf) < cap(t.buf) {
+	if t.buf == nil {
+		t.buf = make([]TraceEvent, 0, t.capn)
+	}
+	if len(t.buf) < t.capn {
 		t.buf = append(t.buf, ev)
 		return
 	}
 	t.buf[t.next] = ev
-	t.next = (t.next + 1) % cap(t.buf)
+	t.next = (t.next + 1) % t.capn
 	t.wrapped = true
 	t.evicted++
+}
+
+// Reset drops all buffered events and drop counters but keeps the ring's
+// capacity and backing array, so a recycled trace records exactly like a
+// fresh one without reallocating.
+func (t *Trace) Reset() {
+	if t == nil {
+		return
+	}
+	t.buf = t.buf[:0]
+	t.next = 0
+	t.wrapped = false
+	t.evicted = 0
+	t.discarded = 0
 }
 
 // Emit is sugar for Add.
@@ -83,7 +105,7 @@ func (t *Trace) Len() int {
 // components capture nil handles when tracing is disabled, so the emission
 // path costs nothing when off.
 func (t *Trace) Enabled() bool {
-	return t != nil && cap(t.buf) > 0
+	return t != nil && t.capn > 0
 }
 
 // Evicted reports how many stored events were later overwritten by ring

@@ -17,6 +17,12 @@ func NewRand(seed int64) *Rand {
 	return &Rand{r: rand.New(rand.NewSource(seed))}
 }
 
+// Reseed rewinds the source to the start of the given seed's sequence, in
+// place. A reseeded Rand produces exactly the byte stream NewRand(seed)
+// would, without the source allocation — the testbed arena reuses its
+// generators across homes this way.
+func (r *Rand) Reseed(seed int64) { r.r.Seed(seed) }
+
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
 func (r *Rand) Intn(n int) int { return r.r.Intn(n) }
 

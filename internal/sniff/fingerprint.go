@@ -2,6 +2,7 @@ package sniff
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/device"
@@ -90,9 +91,20 @@ func BuildSignature(owner device.Profile, children []device.Profile) ModelSignat
 }
 
 // BuildCatalogSignatures assembles signatures for every session-owning
-// model in the catalog.
+// model in the catalog. The catalog is static, so the result is computed
+// once and shared; callers must treat it as read-only.
 func BuildCatalogSignatures() []ModelSignature {
-	byLabel := device.ByLabel()
+	catalogSigsOnce.Do(func() { catalogSigsCache = buildCatalogSignatures() })
+	return catalogSigsCache
+}
+
+var (
+	catalogSigsOnce  sync.Once
+	catalogSigsCache []ModelSignature
+)
+
+func buildCatalogSignatures() []ModelSignature {
+	byLabel := device.Index()
 	childrenOf := make(map[string][]device.Profile)
 	var owners []device.Profile
 	for _, p := range device.Catalog() {
@@ -125,6 +137,21 @@ func NewClassifier(sigs []ModelSignature) *Classifier {
 	}
 	return &Classifier{sigs: m}
 }
+
+// CatalogClassifier returns a classifier over the full catalog's
+// signatures. Classifiers are immutable after construction, so one shared
+// instance serves every testbed.
+func CatalogClassifier() *Classifier {
+	catalogClassifierOnce.Do(func() {
+		catalogClassifierCache = NewClassifier(BuildCatalogSignatures())
+	})
+	return catalogClassifierCache
+}
+
+var (
+	catalogClassifierOnce  sync.Once
+	catalogClassifierCache *Classifier
+)
 
 // Classify matches one record against a known model's signature.
 func (c *Classifier) Classify(model string, r RecordMeta) (MsgSignature, bool) {

@@ -225,7 +225,10 @@ func (c *Capture) ingest(fs *flowState, dir Direction, st *dirStream, seg tcpsim
 		}
 		c.drainRecords(fs, dir, st)
 	case int32(seg.Seq-st.nextSeq) > 0:
-		st.ooo[seg.Seq] = seg.Payload
+		// Detach from the delivered frame: netsim recycles its payload
+		// buffers once delivery returns, and this byte range waits here
+		// until the gap fills.
+		st.ooo[seg.Seq] = append([]byte(nil), seg.Payload...)
 	default:
 		// Retransmission of already-captured bytes: ignore.
 	}

@@ -136,6 +136,24 @@ type Conn struct {
 	OnClose func(error)
 }
 
+// reinit returns a pooled connection to its zero protocol state, keeping
+// the allocations a connection reuses across lives: its stack binding, its
+// two timers (their closures bind this very Conn and the stack's clock),
+// the retransmission queue's backing array and the out-of-order map. A
+// revived connection behaves byte-identically to a fresh one.
+func (c *Conn) reinit() {
+	c.state = 0
+	c.rcvNxt = 0
+	c.retries = 0
+	c.srtt, c.rttSamples = 0, 0
+	c.kaProbes = 0
+	c.lastActivity = 0
+	c.appClosed, c.finRcvd, c.notified = false, false, false
+	c.closedErr = nil
+	c.stats = ConnStats{}
+	c.OnEstablished, c.OnData, c.OnClose = nil, nil, nil
+}
+
 // Local returns the connection's local endpoint.
 func (c *Conn) Local() Endpoint { return c.local }
 
@@ -188,7 +206,10 @@ func (c *Conn) Send(data []byte) error {
 	mss := c.stack.cfg.MSS
 	for len(data) > 0 {
 		n := min(len(data), mss)
-		chunk := make([]byte, n)
+		// The chunk comes from the stack's pool and returns to it when its
+		// retransmission-queue entry retires — the copy detaches the queued
+		// bytes from the caller's buffer without a per-segment allocation.
+		chunk := c.stack.getChunk(n)
 		copy(chunk, data[:n])
 		data = data[n:]
 		c.queueAndSend(0, chunk)
@@ -464,7 +485,11 @@ func (c *Conn) processAck(ack uint32) {
 		if !e.retransmits && e.sentAt > 0 {
 			c.sampleRTT(c.stack.clk.Now() - e.sentAt)
 		}
+		c.rtxq[0].payload = nil
 		c.rtxq = c.rtxq[1:]
+		if len(e.payload) > 0 {
+			c.stack.putChunk(e.payload)
+		}
 		progressed = true
 	}
 	if !progressed {
@@ -494,6 +519,9 @@ func (c *Conn) processSequenced(seg Segment) {
 		if c.ooo == nil {
 			c.ooo = make(map[uint32]Segment)
 		}
+		// A queued segment outlives the delivery that carried it, and frame
+		// buffers recycle as soon as delivery returns — detach the payload.
+		seg.Payload = append([]byte(nil), seg.Payload...)
 		c.ooo[seg.Seq] = seg
 		c.stack.met.oooDepth.Set(int64(len(c.ooo)))
 		c.sendAck() // duplicate ACK for the gap
@@ -559,6 +587,16 @@ func (c *Conn) teardown(err error) {
 	c.closedErr = err
 	c.rtxTimer.Stop()
 	c.kaTimer.Stop()
+	// Unacknowledged chunks can no longer be (re)transmitted: recycle them.
+	// The queue truncates instead of dropping to nil so a pooled connection
+	// keeps its backing array for the next life.
+	for i := range c.rtxq {
+		if len(c.rtxq[i].payload) > 0 {
+			c.stack.putChunk(c.rtxq[i].payload)
+		}
+		c.rtxq[i] = rtxEntry{}
+	}
+	c.rtxq = c.rtxq[:0]
 	c.stack.removeConn(c)
 	c.stack.met.connClosed(err)
 	if c.stack.met.trace != nil {

@@ -1,0 +1,133 @@
+package tcpsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ipaddr"
+	"repro/internal/ipnet"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// recycleLab owns the long-lived pieces a fleet shard reuses between
+// homes: clock, network, registry, and the IP and TCP stacks of a
+// two-host LAN.
+type recycleLab struct {
+	clk      *simtime.Clock
+	nw       *netsim.Network
+	reg      *obs.Registry
+	cIP, sIP *ipnet.Stack
+	cli, srv *Stack
+}
+
+func newRecycleLab() *recycleLab {
+	clk := simtime.NewClock()
+	l := &recycleLab{clk: clk, nw: netsim.NewNetwork(clk, 1), reg: obs.NewRegistry()}
+	seg := l.nw.NewSegment("lan", time.Millisecond, 0)
+	l.cIP = ipnet.NewStack(clk, l.nw.NewHost("client"))
+	l.sIP = ipnet.NewStack(clk, l.nw.NewHost("server"))
+	l.cIP.MustAddIface(seg, "192.168.1.10/24")
+	l.sIP.MustAddIface(seg, "192.168.1.20/24")
+	l.cli = NewStack(clk, l.cIP, Config{}, 7)
+	l.srv = NewStack(clk, l.sIP, Config{}, 8)
+	l.instrument()
+	return l
+}
+
+func (l *recycleLab) instrument() {
+	l.clk.Instrument(l.reg)
+	l.cli.Instrument(l.reg, "client")
+	l.srv.Instrument(l.reg, "server")
+}
+
+// recycle rewinds every component in the teardown order the testbed arena
+// uses: clock first (pending retransmission, delayed-ACK and TIME_WAIT
+// timers become inert), then network, registry and the stacks.
+func (l *recycleLab) recycle() {
+	l.clk.Reset()
+	l.nw.Reset(1)
+	l.reg.Reset()
+	seg := l.nw.NewSegment("lan", time.Millisecond, 0)
+	l.cIP.Reset(l.nw.NewHost("client"))
+	l.sIP.Reset(l.nw.NewHost("server"))
+	l.cIP.MustAddIface(seg, "192.168.1.10/24")
+	l.sIP.MustAddIface(seg, "192.168.1.20/24")
+	l.cli.Reset(l.cIP, Config{}, 7)
+	l.srv.Reset(l.sIP, Config{}, 8)
+	l.instrument()
+}
+
+// drive runs the canonical workload — handshake, four echoed payloads, an
+// orderly close — and fingerprints delivery order and timing, both
+// connection states and stats, and the full metrics snapshot.
+func (l *recycleLab) drive(t *testing.T) string {
+	t.Helper()
+	var events []string
+	var srvConn *Conn
+	if _, err := l.srv.Listen(443, func(c *Conn) {
+		srvConn = c
+		c.OnData = func(b []byte) {
+			events = append(events, fmt.Sprintf("srv<-%q@%v", b, l.clk.Now()))
+			if err := c.Send([]byte("ack")); err != nil {
+				t.Errorf("server send: %v", err)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cli := l.cli.Dial(Endpoint{Addr: ipaddr.MustParse("192.168.1.20"), Port: 443})
+	cli.OnData = func(b []byte) { events = append(events, fmt.Sprintf("cli<-%q@%v", b, l.clk.Now())) }
+	l.clk.RunFor(time.Second)
+	if cli.State() != StateEstablished || srvConn == nil {
+		t.Fatal("handshake did not complete")
+	}
+	for i := 0; i < 4; i++ {
+		if err := cli.Send([]byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		l.clk.RunFor(200 * time.Millisecond)
+	}
+	cli.Close()
+	l.clk.RunFor(5 * time.Second)
+	snap, err := json.Marshal(l.reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("events=%v cli=%v/%+v srv=%v/%+v now=%v snap=%s",
+		events, cli.State(), cli.Stats(), srvConn.State(), srvConn.Stats(), l.clk.Now(), snap)
+}
+
+// TestStackResetByteIdentity recycles a stack pair whose previous life
+// ended mid-handshake — SYN in flight, its retransmission timer pending —
+// and requires the revived stacks to replay a full workload
+// byte-identically to freshly built ones, across two recycling
+// generations.
+func TestStackResetByteIdentity(t *testing.T) {
+	fresh := newRecycleLab().drive(t)
+
+	l := newRecycleLab()
+	if _, err := l.srv.Listen(80, func(*Conn) {}); err != nil {
+		t.Fatal(err)
+	}
+	l.cli.Dial(Endpoint{Addr: ipaddr.MustParse("192.168.1.20"), Port: 80})
+	l.clk.RunFor(100 * time.Microsecond) // SYN and its rearm timer still live
+
+	l.recycle()
+	for _, g := range l.reg.Snapshot().Gauges {
+		if g.Name == "simtime_queue_depth" && (g.Value != 0 || g.Max != 0) {
+			t.Fatalf("simtime_queue_depth after recycle = %d (max %d), want 0", g.Value, g.Max)
+		}
+	}
+	if got := l.drive(t); got != fresh {
+		t.Errorf("recycled stacks diverged from fresh\n fresh: %s\n reuse: %s", fresh, got)
+	}
+
+	l.recycle()
+	if got := l.drive(t); got != fresh {
+		t.Errorf("second recycling generation diverged from fresh\n fresh: %s\n reuse: %s", fresh, got)
+	}
+}

@@ -77,14 +77,29 @@ const headerLen = 15
 
 // Marshal encodes the segment for an IP payload.
 func (s Segment) Marshal() []byte {
-	b := make([]byte, headerLen+len(s.Payload))
-	binary.BigEndian.PutUint16(b[0:2], s.SrcPort)
-	binary.BigEndian.PutUint16(b[2:4], s.DstPort)
-	binary.BigEndian.PutUint32(b[4:8], s.Seq)
-	binary.BigEndian.PutUint32(b[8:12], s.Ack)
-	b[12] = byte(s.Flags)
-	binary.BigEndian.PutUint16(b[13:15], uint16(len(s.Payload)))
-	copy(b[headerLen:], s.Payload)
+	return s.AppendTo(nil)
+}
+
+// AppendTo encodes the segment onto b (usually a reusable scratch buffer)
+// and returns the extended slice.
+func (s Segment) AppendTo(b []byte) []byte {
+	n := len(b)
+	total := n + headerLen + len(s.Payload)
+	if cap(b) < total {
+		nb := make([]byte, total)
+		copy(nb, b)
+		b = nb
+	} else {
+		b = b[:total]
+	}
+	out := b[n:]
+	binary.BigEndian.PutUint16(out[0:2], s.SrcPort)
+	binary.BigEndian.PutUint16(out[2:4], s.DstPort)
+	binary.BigEndian.PutUint32(out[4:8], s.Seq)
+	binary.BigEndian.PutUint32(out[8:12], s.Ack)
+	out[12] = byte(s.Flags)
+	binary.BigEndian.PutUint16(out[13:15], uint16(len(s.Payload)))
+	copy(out[headerLen:], s.Payload)
 	return b
 }
 

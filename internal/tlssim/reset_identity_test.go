@@ -1,0 +1,144 @@
+package tlssim
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ipaddr"
+	"repro/internal/ipnet"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+	"repro/internal/tcpsim"
+)
+
+// recycleLab holds the pooled pieces: clock, network, registry, stacks,
+// the shared handshake RNG, and the two TLS session objects themselves —
+// revived with Conn.Reset instead of reallocated on later generations.
+type recycleLab struct {
+	clk        *simtime.Clock
+	nw         *netsim.Network
+	reg        *obs.Registry
+	cIP, sIP   *ipnet.Stack
+	cTCP, sTCP *tcpsim.Stack
+	rng        *simtime.Rand
+	cli, srv   *Conn
+}
+
+func newRecycleLab() *recycleLab {
+	clk := simtime.NewClock()
+	l := &recycleLab{clk: clk, nw: netsim.NewNetwork(clk, 1), reg: obs.NewRegistry(), rng: simtime.NewRand(99)}
+	seg := l.nw.NewSegment("lan", time.Millisecond, 0)
+	l.cIP = ipnet.NewStack(clk, l.nw.NewHost("client"))
+	l.sIP = ipnet.NewStack(clk, l.nw.NewHost("server"))
+	l.cIP.MustAddIface(seg, "192.168.1.10/24")
+	l.sIP.MustAddIface(seg, "192.168.1.20/24")
+	l.cTCP = tcpsim.NewStack(clk, l.cIP, tcpsim.Config{}, 7)
+	l.sTCP = tcpsim.NewStack(clk, l.sIP, tcpsim.Config{}, 8)
+	clk.Instrument(l.reg)
+	return l
+}
+
+func (l *recycleLab) recycle() {
+	l.clk.Reset()
+	l.nw.Reset(1)
+	l.reg.Reset()
+	seg := l.nw.NewSegment("lan", time.Millisecond, 0)
+	l.cIP.Reset(l.nw.NewHost("client"))
+	l.sIP.Reset(l.nw.NewHost("server"))
+	l.cIP.MustAddIface(seg, "192.168.1.10/24")
+	l.sIP.MustAddIface(seg, "192.168.1.20/24")
+	l.cTCP.Reset(l.cIP, tcpsim.Config{}, 7)
+	l.sTCP.Reset(l.sIP, tcpsim.Config{}, 8)
+	l.rng.Reseed(99)
+	l.clk.Instrument(l.reg)
+}
+
+// attachServer and attachClient build the sessions fresh on the first
+// generation and revive the pooled Conn objects afterwards — the exact
+// construction/Reset split the cloud endpoint pool uses.
+func (l *recycleLab) attachServer(c *tcpsim.Conn) {
+	if l.srv == nil {
+		l.srv = Server(c, l.rng)
+	} else {
+		l.srv.Reset(c, l.rng)
+	}
+}
+
+func (l *recycleLab) attachClient(c *tcpsim.Conn) {
+	if l.cli == nil {
+		l.cli = Client(c, l.rng)
+	} else {
+		l.cli.Reset(c, l.rng)
+	}
+}
+
+// drive completes a handshake, exchanges records both ways, closes, and
+// fingerprints the transcripts, session states, alert counts, a sentinel
+// RNG draw (proving both runs consumed the generator identically) and the
+// metrics snapshot.
+func (l *recycleLab) drive(t *testing.T) string {
+	t.Helper()
+	var lines []string
+	if _, err := l.sTCP.Listen(443, func(c *tcpsim.Conn) { l.attachServer(c) }); err != nil {
+		t.Fatal(err)
+	}
+	tcp := l.cTCP.Dial(tcpsim.Endpoint{Addr: ipaddr.MustParse("192.168.1.20"), Port: 443})
+	l.attachClient(tcp)
+	l.cli.OnMessage = func(m []byte) { lines = append(lines, fmt.Sprintf("cli<-%q@%v", m, l.clk.Now())) }
+	l.clk.RunFor(time.Second)
+	if !l.cli.Established() || l.srv == nil || !l.srv.Established() {
+		t.Fatal("handshake did not complete")
+	}
+	l.srv.OnMessage = func(m []byte) { lines = append(lines, fmt.Sprintf("srv<-%q@%v", m, l.clk.Now())) }
+	for i := 0; i < 3; i++ {
+		if err := l.cli.Send([]byte(fmt.Sprintf("event-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.srv.Send([]byte("command")); err != nil {
+		t.Fatal(err)
+	}
+	l.clk.RunFor(time.Second)
+	l.cli.Close()
+	l.clk.RunFor(5 * time.Second)
+	snap, err := json.Marshal(l.reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("lines=%v est=%v/%v alerts=%d/%d draw=%d now=%v snap=%s",
+		lines, l.cli.Established(), l.srv.Established(), l.cli.AlertsRaised(), l.srv.AlertsRaised(),
+		l.rng.Intn(1<<30), l.clk.Now(), snap)
+}
+
+// TestConnResetByteIdentity recycles the sessions out of a life that ended
+// mid-handshake — TCP timers pending, the RNG partially consumed — and
+// requires revived Conns to replay a full exchange byte-identically to
+// fresh ones, across two recycling generations.
+func TestConnResetByteIdentity(t *testing.T) {
+	fresh := newRecycleLab().drive(t)
+
+	l := newRecycleLab()
+	if _, err := l.sTCP.Listen(443, func(c *tcpsim.Conn) { l.attachServer(c) }); err != nil {
+		t.Fatal(err)
+	}
+	l.attachClient(l.cTCP.Dial(tcpsim.Endpoint{Addr: ipaddr.MustParse("192.168.1.20"), Port: 443}))
+	l.clk.RunFor(2 * time.Millisecond) // handshake mid-flight at recycle time
+
+	l.recycle()
+	for _, g := range l.reg.Snapshot().Gauges {
+		if g.Name == "simtime_queue_depth" && (g.Value != 0 || g.Max != 0) {
+			t.Fatalf("simtime_queue_depth after recycle = %d (max %d), want 0", g.Value, g.Max)
+		}
+	}
+	if got := l.drive(t); got != fresh {
+		t.Errorf("recycled sessions diverged from fresh\n fresh: %s\n reuse: %s", fresh, got)
+	}
+
+	l.recycle()
+	if got := l.drive(t); got != fresh {
+		t.Errorf("second recycling generation diverged from fresh\n fresh: %s\n reuse: %s", fresh, got)
+	}
+}

@@ -93,6 +93,10 @@ type Conn struct {
 	recvAEAD     cipher.AEAD
 	rbuf         []byte
 	alertsRaised int
+	// nonceBuf/aadBuf are the per-record crypto scratch: the AEAD consumes
+	// both before Seal/Open returns, so one pair serves every record.
+	nonceBuf [12]byte
+	aadBuf   [13]byte
 
 	trace *obs.Trace
 	label string
@@ -134,6 +138,43 @@ func newConn(tcp *tcpsim.Conn, rng *simtime.Rand, isClient bool) *Conn {
 	tcp.OnData = c.onData
 	tcp.OnClose = func(err error) { c.teardown(err) }
 	return c
+}
+
+// Reset reinitialises the connection in place against a new transport and
+// randomness source, keeping its role (client or server) and its buffer
+// allocations. The handshake restarts from scratch: a fresh key pair and
+// random are drawn from rng in the same order construction draws them, so a
+// reset connection behaves byte-identically to Client(tcp, rng) or
+// Server(tcp, rng) on the same inputs. Observer hooks and tracing are
+// cleared for the owner to rewire.
+func (c *Conn) Reset(tcp *tcpsim.Conn, rng *simtime.Rand) {
+	priv, err := ecdh.X25519().GenerateKey(&randReader{rng})
+	if err != nil {
+		// X25519 key generation from a working reader cannot fail.
+		panic("tlssim: keygen: " + err.Error())
+	}
+	c.tcp = tcp
+	c.priv = priv
+	rng.Bytes(c.random[:])
+	c.peerRandom = [16]byte{}
+	c.established = false
+	c.closed = false
+	c.closeErr = nil
+	c.sendSeq, c.recvSeq = 0, 0
+	c.sendAEAD, c.recvAEAD = nil, nil
+	c.rbuf = c.rbuf[:0]
+	c.alertsRaised = 0
+	c.trace, c.label = nil, ""
+	c.OnEstablished, c.OnMessage, c.OnClose = nil, nil, nil
+	tcp.OnData = c.onData
+	tcp.OnClose = func(err error) { c.teardown(err) }
+	if c.isClient {
+		if tcp.State() == tcpsim.StateEstablished {
+			c.sendHello()
+		} else {
+			tcp.OnEstablished = c.sendHello
+		}
+	}
 }
 
 // TCP returns the underlying transport connection.
@@ -312,8 +353,8 @@ func (c *Conn) processApplication(body []byte) {
 		c.fail("record_before_handshake")
 		return
 	}
-	nonce := seqNonce(c.recvSeq)
-	aad := additionalData(RecordApplication, c.recvSeq, len(body))
+	nonce := c.seqNonce(c.recvSeq)
+	aad := c.additionalData(RecordApplication, c.recvSeq, len(body))
 	plain, err := c.recvAEAD.Open(nil, nonce, body, aad)
 	if err != nil {
 		// Seq-check / authentication failure: a delayed record delivered
@@ -355,8 +396,8 @@ func (c *Conn) teardown(err error) {
 }
 
 func (c *Conn) seal(typ RecordType, plain []byte) []byte {
-	nonce := seqNonce(c.sendSeq)
-	aad := additionalData(typ, c.sendSeq, len(plain)+16)
+	nonce := c.seqNonce(c.sendSeq)
+	aad := c.additionalData(typ, c.sendSeq, len(plain)+16)
 	body := c.sendAEAD.Seal(nil, nonce, plain, aad)
 	c.sendSeq++
 	rec := make([]byte, HeaderLen+len(body))
@@ -379,20 +420,18 @@ func fillHeader(rec []byte, typ RecordType, n int) {
 	binary.BigEndian.PutUint16(rec[3:5], uint16(n))
 }
 
-func seqNonce(seq uint64) []byte {
-	nonce := make([]byte, 12)
-	binary.BigEndian.PutUint64(nonce[4:], seq)
-	return nonce
+func (c *Conn) seqNonce(seq uint64) []byte {
+	binary.BigEndian.PutUint64(c.nonceBuf[4:], seq)
+	return c.nonceBuf[:]
 }
 
-func additionalData(typ RecordType, seq uint64, bodyLen int) []byte {
-	aad := make([]byte, 13)
-	binary.BigEndian.PutUint64(aad[0:8], seq)
-	aad[8] = byte(typ)
-	aad[9] = 0x03
-	aad[10] = 0x03
-	binary.BigEndian.PutUint16(aad[11:13], uint16(bodyLen))
-	return aad
+func (c *Conn) additionalData(typ RecordType, seq uint64, bodyLen int) []byte {
+	binary.BigEndian.PutUint64(c.aadBuf[0:8], seq)
+	c.aadBuf[8] = byte(typ)
+	c.aadBuf[9] = 0x03
+	c.aadBuf[10] = 0x03
+	binary.BigEndian.PutUint16(c.aadBuf[11:13], uint16(bodyLen))
+	return c.aadBuf[:]
 }
 
 // randReader adapts the deterministic simulation source to io.Reader for
