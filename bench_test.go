@@ -13,6 +13,7 @@
 //	BenchmarkAblationMargin         — release-margin design sweep
 //	BenchmarkAblationBoundary       — detection-cliff sweep
 //	BenchmarkFleetCampaign          — fleet-scale campaign throughput
+//	BenchmarkReplayCampaign         — record-and-replay family at fleet scale
 //
 // Each benchmark reports domain metrics alongside timing: achieved delay
 // windows, success fractions, residual windows. Run with:
@@ -355,6 +356,40 @@ func BenchmarkFleetCampaign(b *testing.B) { benchFleetCampaign(b, false) }
 // Results are byte-identical to BenchmarkFleetCampaign's; only the
 // allocation columns should differ.
 func BenchmarkFleetCampaignReuse(b *testing.B) { benchFleetCampaign(b, true) }
+
+// BenchmarkReplayCampaign measures the record-and-replay family at fleet
+// scale. On top of the campaign engine's per-home cost it pays for capture
+// payload retention, fingerprint-driven target selection and the raw/app
+// injection ladder, so it bounds the most expensive attack family.
+func BenchmarkReplayCampaign(b *testing.B) {
+	const homes = 24
+	var res fleet.Result
+	for i := 0; i < b.N; i++ {
+		c := fleet.Campaign{
+			Spec: fleet.Spec{
+				Name:   "replay-bench",
+				Attack: fleet.AttackReplay,
+				Targets: fleet.TargetSpec{
+					Classes: []string{"plug", "thermostat", "water sensor"},
+					PerHome: 2,
+				},
+			},
+			Homes:     homes,
+			Workers:   runtime.GOMAXPROCS(0),
+			ShardSize: 4,
+			Seed:      1000 + int64(i),
+		}
+		var err error
+		res, err = c.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(homes)*float64(b.N)/b.Elapsed().Seconds(), "homes/s")
+	if res.TotalTrials > 0 {
+		b.ReportMetric(float64(res.TotalSuccesses)/float64(res.TotalTrials), "success-frac")
+	}
+}
 
 // BenchmarkAblationMargin regenerates the release-margin sweep: the design
 // parameter trading stolen delay against stealth.

@@ -1,12 +1,12 @@
 // Command phantomlab reproduces the paper's evaluation: the Table I/II
 // timeout measurements, the Table III proof-of-concept attacks, the
 // verification test, the three session-behaviour findings, the
-// countermeasure studies, and fleet-scale attack campaigns over synthetic
-// home populations.
+// countermeasure studies, the record-and-replay vulnerability assessment,
+// and fleet-scale attack campaigns over synthetic home populations.
 //
 // Usage:
 //
-//	phantomlab [flags] <table1|table2|table3|verify|findings|defense|recon|ablation|all>
+//	phantomlab [flags] <table1|table2|table3|verify|findings|defense|recon|ablation|replay|all>
 //	phantomlab fleet [-homes N] [-workers W] [-seed S] [-campaign spec.json]
 //	                 [-checkpoint state.json] [-out results.json]
 //
@@ -46,8 +46,8 @@ import (
 // subset whose per-run snapshots carry flight-recorder events, i.e. the
 // commands -trace accepts.
 var (
-	metricsCommands = []string{"table1", "table2", "table3", "verify", "findings", "defense", "all"}
-	traceCommands   = []string{"table1", "table2", "table3", "verify", "all"}
+	metricsCommands = []string{"table1", "table2", "table3", "verify", "findings", "defense", "replay", "all"}
+	traceCommands   = []string{"table1", "table2", "table3", "verify", "replay", "all"}
 )
 
 // cliTraceCap sizes the flight-recorder ring for -trace runs: large enough
@@ -138,7 +138,7 @@ func run(args []string) error {
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("expected one command: table1|table2|table3|verify|findings|defense|recon|ablation|all|fleet")
+		return fmt.Errorf("expected one command: table1|table2|table3|verify|findings|defense|recon|ablation|replay|all|fleet")
 	}
 	cmd := fs.Arg(0)
 	if *traceOut != "" && !supports(traceCommands, cmd) {
@@ -238,6 +238,17 @@ func run(args []string) error {
 			labels := []string{"C1", "M1", "L2", "M2", "C2", "M3", "LK1", "P2", "CM1", "K2", "SD1", "P4"}
 			results := experiment.RunReconCoverage(labels, []int{3, 6, 10, 100}, *seed+1200)
 			experiment.FormatRecon(out, results)
+		case "replay":
+			results := experiment.RunReplayAssessment(catalogLabels(), experiment.ReplayOptions{
+				Seed: *seed + 1300, TraceCap: opts.TraceCap,
+			})
+			for _, r := range results {
+				metricSnaps = append(metricSnaps, r.Metrics)
+				if len(r.Metrics.Trace) > 0 {
+					traceSrcs = append(traceSrcs, timeline.Source{Name: "replay-" + r.Label, Events: r.Metrics.Trace})
+				}
+			}
+			experiment.FormatReplayTable(out, results)
 		case "ablation":
 			margins := experiment.RunMarginAblation("C1",
 				[]time.Duration{time.Second, 2 * time.Second, 5 * time.Second, 10 * time.Second}, *trials, *seed+900)
@@ -252,7 +263,7 @@ func run(args []string) error {
 	}
 
 	if cmd == "all" {
-		for _, name := range []string{"table1", "table2", "table3", "verify", "findings", "defense", "recon", "ablation"} {
+		for _, name := range []string{"table1", "table2", "table3", "verify", "findings", "defense", "recon", "ablation", "replay"} {
 			if err := runOne(name); err != nil {
 				return err
 			}
@@ -443,6 +454,16 @@ func cloudLabels() []string {
 func localLabels() []string {
 	var out []string
 	for _, p := range device.LocalProfiles() {
+		out = append(out, p.Label)
+	}
+	return out
+}
+
+// catalogLabels lists every catalog device in declaration order — the
+// replay assessment probes the whole population, hub children included.
+func catalogLabels() []string {
+	var out []string
+	for _, p := range device.Catalog() {
 		out = append(out, p.Label)
 	}
 	return out

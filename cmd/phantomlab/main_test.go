@@ -218,6 +218,72 @@ func TestRunFleetCommand(t *testing.T) {
 	}
 }
 
+func TestRunReplayCommand(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	trace := filepath.Join(dir, "trace.json")
+	if err := run([]string{"-seed", "2", "-metrics", metrics, "-trace", trace, "replay"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"replay_injected_total", "replay_accepted_total", "replay_rejected_total"} {
+		found := false
+		for _, f := range snap.Families() {
+			if f == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("metric family %s missing from replay snapshot", name)
+		}
+	}
+	tr, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tr, &file); err != nil {
+		t.Fatalf("replay trace not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("replay trace has no events")
+	}
+}
+
+func TestRunFleetReplayCampaign(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	spec := `{"attack":"replay","targets":{"classes":["plug","thermostat","water sensor"],"perHome":2}}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.json")
+	if err := run([]string{"fleet", "-homes", "8", "-seed", "11", "-campaign", specPath, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res fleet.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTrials == 0 {
+		t.Fatalf("replay campaign ran no trials: %+v", res)
+	}
+}
+
 func TestRunFleetRejectsBadSpec(t *testing.T) {
 	dir := t.TempDir()
 	specPath := filepath.Join(dir, "spec.json")

@@ -65,6 +65,21 @@ var globalRandFuncs = map[string]bool{
 	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
 }
 
+// cryptoKeygenPkgs are crypto packages whose GenerateKey draws a
+// scheduler-dependent number of bytes from the caller's io.Reader:
+// randutil.MaybeReadByte consumes one extra byte on a runtime coin-flip,
+// so a deterministic reader no longer yields deterministic keys — and
+// every later draw from the same source shifts with it. Key and record
+// content stays invisible to timing until something (the replay attack)
+// re-issues captured bytes as data, which is how this surfaced: build
+// keys from explicitly drawn bytes (ecdh.Curve.NewPrivateKey) instead.
+var cryptoKeygenPkgs = map[string]bool{
+	"crypto/ecdh":  true,
+	"crypto/ecdsa": true,
+	"crypto/rsa":   true,
+	"crypto/dsa":   true,
+}
+
 // allowedPrefixes exempt whole package subtrees from the check.
 var allowedPrefixes = []string{
 	"repro/cmd/",
@@ -104,6 +119,16 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			}
 			obj := pass.TypesInfo.Uses[sel.Sel]
 			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			// Crypto key generation is checked before the method skip:
+			// ecdh's GenerateKey is a method on the Curve interface, while
+			// ecdsa/rsa/dsa expose package functions — all read a
+			// MaybeReadByte-perturbed number of bytes from their reader.
+			if obj.Name() == "GenerateKey" && cryptoKeygenPkgs[obj.Pkg().Path()] {
+				pass.Reportf(sel.Pos(), fmt.Sprintf(
+					"%s.GenerateKey consumes a scheduler-dependent number of reader bytes (randutil.MaybeReadByte): draw the key bytes from the seeded source and use NewPrivateKey",
+					obj.Pkg().Name()))
 				return true
 			}
 			// Methods are fine: r.Intn on a seeded *rand.Rand is exactly

@@ -4,6 +4,10 @@
 package simfix
 
 import (
+	"crypto/ecdh"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"io"
 	"math/rand"
 	"time"
 )
@@ -24,6 +28,19 @@ func globalRand() int {
 	f := rand.Float64() // want `global rand\.Float64 draws from the shared random stream`
 	_ = f
 	return rand.Intn(10) // want `global rand\.Intn draws from the shared random stream`
+}
+
+// Bad: crypto GenerateKey perturbs how many bytes it reads from the
+// source (randutil.MaybeReadByte), so a deterministic reader does not
+// give deterministic keys — or deterministic later draws.
+func cryptoKeygen(r io.Reader) {
+	_, _ = ecdh.X25519().GenerateKey(r)                  // want `ecdh\.GenerateKey consumes a scheduler-dependent number of reader bytes`
+	_, _ = ecdsa.GenerateKey(elliptic.P256(), r)         // want `ecdsa\.GenerateKey consumes a scheduler-dependent number of reader bytes`
+}
+
+// Good: keys built from explicitly drawn bytes are pure in the source.
+func cryptoKeyFromBytes(seed [32]byte) {
+	_, _ = ecdh.X25519().NewPrivateKey(seed[:])
 }
 
 // Good: explicitly seeded sources and virtual-time arithmetic.

@@ -77,3 +77,54 @@ func (c *component) enabledEarlyReturn() {
 func (c *component) suppressed() {
 	c.trace.Emit(0, "fix", "ev", "", 0) //lint:allow traceguard -- fixture demonstrates suppression
 }
+
+// The replay engine's shape: Instrument assigns the handle only when the
+// ring is enabled, every trial then reports through one emit helper. The
+// analyzer is function-local on purpose — gating the assignment does not
+// excuse an unguarded emission site, because a second Instrument call or a
+// zero-value engine leaves the handle nil again.
+
+type replayEngine struct {
+	trace *obs.Trace
+	reg   registry
+}
+
+func (e *replayEngine) instrument() {
+	if tr := e.reg.Trace(); tr.Enabled() {
+		e.trace = tr
+	}
+}
+
+// Bad: relies on instrument's Enabled gate instead of guarding here.
+func (e *replayEngine) injectUnguarded(verdict string) {
+	e.trace.Emit(0, "replay", "replay_injected", verdict, 1) // want `unguarded obs\.Trace\.Emit`
+}
+
+// Bad: a guard around only the detail construction leaves the emission
+// itself uncovered.
+func (e *replayEngine) halfGuarded(accepted bool) {
+	detail := ""
+	if e.trace != nil {
+		if accepted {
+			detail = "accepted"
+		}
+	}
+	e.trace.Emit(0, "replay", "replay_verdict", detail, 0) // want `unguarded obs\.Trace\.Emit`
+}
+
+// Good: the engine's emit helper — early return on the captured handle,
+// argument construction strictly after the guard.
+func (e *replayEngine) emit(event, detail string, value int64) {
+	if e.trace == nil {
+		return
+	}
+	e.trace.Emit(0, "replay", event, detail, value)
+}
+
+// Good: per-trial loop funnelling through the guarded helper keeps the
+// call sites themselves emission-free.
+func (e *replayEngine) runTrials(n int) {
+	for i := 0; i < n; i++ {
+		e.emit("replay_injected", "app", int64(i))
+	}
+}

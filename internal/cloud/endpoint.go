@@ -58,6 +58,15 @@ type EndpointServer struct {
 	owner    map[string]string // device label -> session-owner label
 	trace    *obs.Trace
 
+	// Server-side replay suppression (profiles with CloudDedup): a ring of
+	// the most recently accepted event keys. Replays of accepted events —
+	// raw re-injections and fresh-session application replays alike — carry
+	// the original generation timestamp and are discarded here.
+	dedupSeen  map[eventKey]bool
+	dedupRing  [dedupRingSize]eventKey
+	dedupN     int
+	dedupDrops *obs.Counter
+
 	// OnEvent receives every device event this endpoint accepts (wired to
 	// the integration server by the testbed builder).
 	OnEvent func(rules.Event)
@@ -70,13 +79,14 @@ func NewEndpointServer(clk *simtime.Clock, ip *ipnet.Stack, rng *simtime.Rand, c
 		cfg.CloudToCloudLatency = 20 * time.Millisecond
 	}
 	s := &EndpointServer{
-		clk:      clk,
-		cfg:      cfg,
-		ip:       ip,
-		tcp:      tcpsim.NewStack(clk, ip, tcpsim.Config{}, int64(len(cfg.Domain))+100),
-		rng:      rng,
-		profiles: make(map[string]device.Profile),
-		owner:    make(map[string]string),
+		clk:       clk,
+		cfg:       cfg,
+		ip:        ip,
+		tcp:       tcpsim.NewStack(clk, ip, tcpsim.Config{}, int64(len(cfg.Domain))+100),
+		rng:       rng,
+		profiles:  make(map[string]device.Profile),
+		owner:     make(map[string]string),
+		dedupSeen: make(map[eventKey]bool),
 	}
 	s.broker = mqttsim.NewBroker(clk, cfg.Broker)
 	s.broker.OnPublish = s.onMQTTPublish
@@ -127,6 +137,9 @@ func (s *EndpointServer) Reset(ip *ipnet.Stack, rng *simtime.Rand, cfg EndpointC
 	s.http.OnRequest = s.onHTTPRequest
 	clear(s.profiles)
 	clear(s.owner)
+	clear(s.dedupSeen)
+	s.dedupN = 0
+	s.dedupDrops = nil
 	s.trace = nil
 	s.OnEvent = nil
 	return s.listen()
@@ -136,6 +149,7 @@ func (s *EndpointServer) Reset(ip *ipnet.Stack, rng *simtime.Rand, cfg EndpointC
 // server-side TLS sessions emit per-record events — the evidence that
 // records released after a hold still verify in order at the endpoint.
 func (s *EndpointServer) Instrument(reg *obs.Registry) {
+	s.dedupDrops = reg.Counter("cloud_events_deduped_total", obs.L("domain", s.cfg.Domain))
 	if tr := reg.Trace(); tr.Enabled() {
 		s.trace = tr
 	}
@@ -232,7 +246,7 @@ func (s *EndpointServer) onMQTTPublish(sess *mqttsim.Session, pkt mqttsim.Packet
 	if !ok {
 		return
 	}
-	s.forward(rules.Event{
+	s.accept(rules.Event{
 		Device:      label,
 		Attribute:   attr,
 		Value:       value,
@@ -249,13 +263,55 @@ func (s *EndpointServer) onHTTPRequest(sess *httpsim.Session, m httpsim.Message)
 	if err != nil {
 		return
 	}
-	s.forward(rules.Event{
+	s.accept(rules.Event{
 		Device:      origin,
 		Attribute:   attr,
 		Value:       value,
 		GeneratedAt: m.Timestamp,
 		ReceivedAt:  s.clk.Now(),
 	})
+}
+
+// accept runs the endpoint's acceptance policy on a parsed device event:
+// vendors with server-side dedup discard events they have already accepted
+// (matching device, attribute, value and generation timestamp), everything
+// else forwards to the integration server.
+func (s *EndpointServer) accept(ev rules.Event) {
+	if s.profiles[ev.Device].CloudDedup && s.duplicate(ev) {
+		s.dedupDrops.Inc()
+		if s.trace != nil {
+			s.trace.Emit(s.clk.Now(), "cloud", "event_deduped", ev.Device+":"+ev.Attribute+"="+ev.Value, int64(ev.GeneratedAt))
+		}
+		return
+	}
+	s.forward(ev)
+}
+
+// dedupRingSize bounds the accepted-event memory per endpoint; the oldest
+// key falls out when the ring wraps, mirroring the bounded dedup caches
+// real event ingestion pipelines run.
+const dedupRingSize = 128
+
+// eventKey identifies an accepted event for replay suppression.
+type eventKey struct {
+	device, attr, value string
+	generatedAt         simtime.Time
+}
+
+// duplicate reports whether ev was already accepted, recording it if not.
+func (s *EndpointServer) duplicate(ev rules.Event) bool {
+	k := eventKey{ev.Device, ev.Attribute, ev.Value, ev.GeneratedAt}
+	if s.dedupSeen[k] {
+		return true
+	}
+	pos := s.dedupN % dedupRingSize
+	if s.dedupN >= dedupRingSize {
+		delete(s.dedupSeen, s.dedupRing[pos])
+	}
+	s.dedupRing[pos] = k
+	s.dedupSeen[k] = true
+	s.dedupN++
+	return false
 }
 
 func (s *EndpointServer) forward(ev rules.Event) {

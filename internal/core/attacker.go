@@ -66,6 +66,13 @@ func NewAttacker(nw *netsim.Network, lan *netsim.Segment, name, cidr string, gat
 // NewAttacker performs; both paths behave byte-identically given
 // identically seeded inputs.
 func NewAttackerOn(clk *simtime.Clock, lan *netsim.Segment, ip *ipnet.Stack, tcp *tcpsim.Stack, rng *simtime.Rand) (*Attacker, error) {
+	return NewAttackerWith(clk, lan, ip, tcp, rng, sniff.NewCapture(clk))
+}
+
+// NewAttackerWith is NewAttackerOn with a caller-supplied capture, so
+// arena owners can pool captures across homes (a freshly Reset capture is
+// byte-identical to a new one). The capture must be empty.
+func NewAttackerWith(clk *simtime.Clock, lan *netsim.Segment, ip *ipnet.Stack, tcp *tcpsim.Stack, rng *simtime.Rand, cap *sniff.Capture) (*Attacker, error) {
 	ifaces := ip.Ifaces()
 	if len(ifaces) == 0 {
 		return nil, fmt.Errorf("core: attacker IP stack has no interface")
@@ -75,7 +82,7 @@ func NewAttackerOn(clk *simtime.Clock, lan *netsim.Segment, ip *ipnet.Stack, tcp
 		Host:      ip.Host(),
 		IP:        ip,
 		TCP:       tcp,
-		Capture:   sniff.NewCapture(clk),
+		Capture:   cap,
 		rng:       rng,
 		acceptors: make(map[uint16]map[ipaddr.Addr]func(*tcpsim.Conn)),
 	}

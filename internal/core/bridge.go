@@ -259,6 +259,16 @@ func (b *Bridge) CloseServerSide() { b.srvConn.Close() }
 // CloseDeviceSide ends the device-facing connection gracefully.
 func (b *Bridge) CloseDeviceSide() { b.devConn.Close() }
 
+// Inject writes a raw TLS record into the bridge's outbound stream in the
+// given direction, exactly as if the bridge were forwarding it — the raw
+// half of a record-and-replay attack. The receiver's TLS stack decides the
+// outcome: seq-bound sessions alert on the duplicate, explicit-sequence
+// sessions accept or window-drop it. Injection bypasses the delay policy
+// (a replayed record is the attacker's own traffic, not a held one).
+func (b *Bridge) Inject(d sniff.Direction, rec []byte) {
+	b.send(d, rec)
+}
+
 func (b *Bridge) send(d sniff.Direction, rec []byte) {
 	var conn *tcpsim.Conn
 	if d == sniff.DirClientToServer {

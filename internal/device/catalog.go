@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/proto"
+	"repro/internal/tlssim"
 )
 
 // Catalog returns the 50-device roster of the paper's evaluation:
@@ -196,6 +197,9 @@ func wifiDirect() []Profile {
 			EventLen:       355, KeepAliveLen: 80, CommandLen: 370,
 			EventAttr: "switch", EventValues: []string{"on", "off"},
 			CommandAttr: "switch", AppDownloads: 1_000_000,
+			// Legacy explicit-nonce TLS build, no anti-replay window, no
+			// cloud dedup: captured records re-inject cleanly.
+			ReplayMode: tlssim.ModeLegacyNonce,
 		},
 		{
 			Label: "P4", Model: "Meross Smart Plug MSS110", Vendor: "Meross", Class: "plug",
@@ -205,6 +209,8 @@ func wifiDirect() []Profile {
 			EventLen: 330, KeepAliveLen: 64, CommandLen: 345,
 			EventAttr: "switch", EventValues: []string{"on", "off"},
 			CommandAttr: "switch", AppDownloads: 1_000_000,
+			// Legacy explicit-nonce TLS build with no replay defenses.
+			ReplayMode: tlssim.ModeLegacyNonce,
 		},
 		{
 			Label: "L1", Model: "LIFX Mini White", Vendor: "LIFX", Class: "bulb",
@@ -224,6 +230,9 @@ func wifiDirect() []Profile {
 			EventLen: 348, KeepAliveLen: 72, CommandLen: 365,
 			EventAttr: "switch", EventValues: []string{"on", "off"},
 			CommandAttr: "switch", AppDownloads: 10_000_000,
+			// Legacy TLS build, but the firmware negotiates a DTLS-style
+			// anti-replay window that silently drops re-injected records.
+			ReplayMode: tlssim.ModeLegacyNonce, ReplayWindow: 64,
 		},
 		{
 			Label: "K2", Model: "SimpliSafe Keypad (HS3)", Vendor: "SimpliSafe", Class: "keypad",
@@ -235,6 +244,11 @@ func wifiDirect() []Profile {
 			EventLen: 510, KeepAliveLen: 76, CommandLen: 520,
 			EventAttr: "mode", EventValues: []string{"off", "home", "away"},
 			CommandAttr: "mode", AppDownloads: 1_000_000,
+			// Null-cipher firmware, but defense in depth elsewhere: a
+			// session replay window stops raw injection and the vendor cloud
+			// discards duplicate events, so fresh-session replays die too.
+			ReplayMode: tlssim.ModeNullCipher, ReplayWindow: 64,
+			CloudDedup: true,
 		},
 		{
 			Label: "T1", Model: "Ecobee3 Thermostat", Vendor: "Ecobee", Class: "thermostat",
@@ -245,6 +259,10 @@ func wifiDirect() []Profile {
 			EventLen:       700, KeepAliveLen: 100, CommandLen: 710,
 			EventAttr: "heating", EventValues: []string{"on", "off"},
 			CommandAttr: "heating", AppDownloads: 1_000_000,
+			// Null-cipher firmware with a per-session replay window: raw
+			// re-injection on the live session is dropped, but the readable
+			// capture replays from a fresh attacker session (no cloud dedup).
+			ReplayMode: tlssim.ModeNullCipher, ReplayWindow: 64,
 		},
 		{
 			Label: "SD1", Model: "Nest Protect", Vendor: "Google", Class: "smoke detector",
@@ -263,6 +281,9 @@ func wifiDirect() []Profile {
 			EventLen: 280, KeepAliveLen: 56, CommandLen: 310,
 			EventAttr: "valve", EventValues: []string{"open", "closed"},
 			CommandAttr: "valve", AppDownloads: 100_000,
+			// Legacy TLS build saved by its cloud: the vendor backend
+			// discards duplicate events, so replays inject but never fire.
+			ReplayMode: tlssim.ModeLegacyNonce, CloudDedup: true,
 		},
 	}
 }
@@ -282,10 +303,15 @@ func onDemand() []Profile {
 			AppDownloads: downloads,
 		}
 	}
+	// Govee ships a null-cipher TLS build: its on-demand bursts are too
+	// short-lived for raw re-injection, but the readable capture replays
+	// from a fresh attacker session at the application layer.
+	w1 := mk("W1", "Govee Water Leak Detector", "Govee", "water sensor", "govee.com", "water", []string{"wet", "dry"}, 440, 1_000_000)
+	w1.ReplayMode = tlssim.ModeNullCipher
 	return []Profile{
 		mk("M7", "SmartLife WiFi Motion Sensor", "Tuya", "motion sensor", "tuya.com", "motion", []string{"active", "inactive"}, 470, 10_000_000),
 		mk("C5", "SmartLife WiFi Contact Sensor", "Tuya", "contact sensor", "tuya.com", "contact", []string{"open", "closed"}, 455, 10_000_000),
-		mk("W1", "Govee Water Leak Detector", "Govee", "water sensor", "govee.com", "water", []string{"wet", "dry"}, 440, 1_000_000),
+		w1,
 	}
 }
 

@@ -343,7 +343,7 @@ func (d *Device) onClosed(reason proto.CloseReason) {
 
 func (d *Device) dialTLS() *tlssim.Conn {
 	tcp := d.env.TCP.Dial(d.env.Server)
-	sess := tlssim.Client(tcp, d.env.RNG)
+	sess := tlssim.ClientWithMode(tcp, d.env.RNG, d.profile.ReplayMode, d.profile.ReplayWindow)
 	sess.Instrument(d.env.Trace, d.profile.Label)
 	return sess
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/proto"
+	"repro/internal/tlssim"
 )
 
 // Transport selects the protocol stack a device speaks to its server.
@@ -103,6 +104,20 @@ type Profile struct {
 	EventValues []string
 	// CommandAttr names the actuator attribute, empty for pure sensors.
 	CommandAttr string
+
+	// ReplayMode is the TLS stack the device's firmware ships: seq-bound
+	// (modern, the zero value), legacy explicit-nonce, or null-cipher. It
+	// decides whether captured records can be re-injected (and read) by an
+	// on-path attacker; see internal/replay.
+	ReplayMode tlssim.ReplayMode
+	// ReplayWindow is the DTLS-style anti-replay window the device
+	// negotiates for its sessions (0 disables it). Only meaningful for the
+	// explicit-sequence replay modes.
+	ReplayWindow int
+	// CloudDedup marks vendors whose cloud discards events it has already
+	// accepted (same device, attribute, value and generation timestamp) —
+	// the server-side replay defense.
+	CloudDedup bool
 
 	// ReconnectDelay is the device's backoff before re-dialling after a
 	// session loss. Default 3s.

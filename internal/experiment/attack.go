@@ -25,7 +25,7 @@ func (tb *Testbed) NewAttacker() (*core.Attacker, error) {
 	}
 	tcp := tb.newTCPStack(ip, tb.cfg.Seed+900)
 	rng := tb.newRand(tb.cfg.Seed + 901)
-	atk, err := core.NewAttackerOn(tb.Clock, tb.LAN, ip, tcp, rng)
+	atk, err := core.NewAttackerWith(tb.Clock, tb.LAN, ip, tcp, rng, tb.newCapture())
 	if err != nil {
 		return nil, err
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/simtime"
+	"repro/internal/sniff"
 	"repro/internal/tcpsim"
 )
 
@@ -88,6 +89,8 @@ type Testbed struct {
 	tcpFree []*tcpsim.Stack
 	rndUsed []*simtime.Rand
 	rndFree []*simtime.Rand
+	capUsed []*sniff.Capture
+	capFree []*sniff.Capture
 	epPool  map[string]*cloud.EndpointServer
 	hubPool *cloud.LocalHub
 }
@@ -161,6 +164,9 @@ func (tb *Testbed) teardown() {
 	tb.rndFree = append(tb.rndFree, tb.rndUsed...)
 	clear(tb.rndUsed)
 	tb.rndUsed = tb.rndUsed[:0]
+	tb.capFree = append(tb.capFree, tb.capUsed...)
+	clear(tb.capUsed)
+	tb.capUsed = tb.capUsed[:0]
 	for domain, ep := range tb.Endpoints {
 		tb.epPool[domain] = ep
 	}
@@ -333,6 +339,21 @@ func (tb *Testbed) newRand(seed int64) *simtime.Rand {
 	}
 	tb.rndUsed = append(tb.rndUsed, r)
 	return r
+}
+
+// newCapture revives a pooled sniff capture (or allocates one). Reset
+// returns it to NewCapture's state, so revival is unobservable.
+func (tb *Testbed) newCapture() *sniff.Capture {
+	var c *sniff.Capture
+	if k := len(tb.capFree); k > 0 {
+		c, tb.capFree[k-1] = tb.capFree[k-1], nil
+		tb.capFree = tb.capFree[:k-1]
+		c.Reset()
+	} else {
+		c = sniff.NewCapture(tb.Clock)
+	}
+	tb.capUsed = append(tb.capUsed, c)
+	return c
 }
 
 func (tb *Testbed) ensureLocalHub() error {

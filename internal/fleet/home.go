@@ -8,6 +8,9 @@ import (
 	"repro/internal/device"
 	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/replay"
+	"repro/internal/sniff"
+	"repro/internal/tcpsim"
 )
 
 // ModelTally accumulates campaign outcomes for one device model.
@@ -103,6 +106,9 @@ func runHome(spec Spec, home HomeSpec, reuse *experiment.Testbed) (res homeResul
 		res.err = err
 		return res, tb
 	}
+	if spec.Attack == AttackReplay && spec.Replay != nil {
+		atk.Capture.RetainPayloads(spec.Replay.RetainBytes)
+	}
 	// One hijack per session owner, shared by targets riding the same hub.
 	hijackers := make(map[string]*core.Hijacker)
 	for _, label := range targets {
@@ -179,6 +185,8 @@ func attackTarget(tb *experiment.Testbed, h *core.Hijacker, spec Spec, label str
 		switch spec.Attack {
 		case AttackOffline:
 			achieved, success, err = offlineTrial(tb, h, spec)
+		case AttackReplay:
+			achieved, success, err = replayTrial(tb, h, lab, spec, label)
 		default:
 			achieved, success, err = delayTrial(tb, h, lab, spec, m, label)
 		}
@@ -262,6 +270,57 @@ func delayTrial(tb *experiment.Testbed, h *core.Hijacker, lab *core.Lab, spec Sp
 		success = false
 	}
 	return achieved, success, nil
+}
+
+// replayTrial runs one record-and-replay attempt: trigger a genuine
+// event, find its retained record in the attacker's capture, and
+// re-inject it per the spec's mode. Success means the duplicate was
+// accepted by the automation backend; the achieved delay is zero because
+// a replay is not a hold. A trial whose event record was not retained
+// (eviction, or an out-of-order capture) simply fails — replay coverage
+// is itself a campaign observable, not an error.
+func replayTrial(tb *experiment.Testbed, h *core.Hijacker, lab *core.Lab, spec Spec, label string) (time.Duration, bool, error) {
+	atk := h.Attacker()
+	eng := replay.NewEngine(atk)
+	eng.Instrument(tb.Metrics)
+	origin := lab.EventOrigin
+
+	if err := lab.TriggerEvent(); err != nil {
+		return 0, false, err
+	}
+	tb.Clock.RunFor(3 * time.Second)
+
+	records := atk.Capture.Records()
+	owner := tb.SessionOwnerProfile(label).Label
+	idx, ok := replay.FindEventRecord(sniff.CatalogClassifier(), owner, origin, records)
+	if !ok {
+		return 0, false, nil
+	}
+
+	mode := ReplayModeAuto
+	if spec.Replay != nil && spec.Replay.Mode != "" {
+		mode = spec.Replay.Mode
+	}
+	success := false
+	if mode == ReplayModeRaw || mode == ReplayModeAuto {
+		before := tb.AcceptedEventCount(origin)
+		if eng.RawReplay(h, records[idx]) == nil {
+			tb.Clock.RunFor(5 * time.Second)
+			success = tb.AcceptedEventCount(origin) > before
+			eng.ReportOutcome(origin, success)
+		}
+	}
+	if !success && (mode == ReplayModeApp || mode == ReplayModeAuto) {
+		target := h.Target()
+		server := tcpsim.Endpoint{Addr: target.ServerAddr, Port: target.ServerPort}
+		before := tb.AcceptedEventCount(origin)
+		if _, err := eng.AppReplay(server, replay.SessionPrefix(records, idx)); err == nil {
+			tb.Clock.RunFor(5 * time.Second)
+			success = tb.AcceptedEventCount(origin) > before
+			eng.ReportOutcome(origin, success)
+		}
+	}
+	return 0, success, nil
 }
 
 // simTimeBound bounds one trial's simulated time: the widest possible

@@ -29,7 +29,32 @@ const (
 	// Finding 2/3 offline-masking attack. Success means the servers raised
 	// no offline alarm during the hold.
 	AttackOffline = "offline"
+	// AttackReplay captures one genuine event from each target and
+	// re-injects it — verbatim on the hijacked session and/or re-issued
+	// from a fresh attacker connection, per Spec.Replay. Success means the
+	// duplicate event was accepted by the automation backend.
+	AttackReplay = "replay"
 )
+
+// Replay injection modes for ReplaySpec.Mode.
+const (
+	// ReplayModeAuto tries raw injection first and falls back to the
+	// application layer when raw is rejected and the capture is readable.
+	ReplayModeAuto = "auto"
+	// ReplayModeRaw only re-injects captured wire bytes on the live session.
+	ReplayModeRaw = "raw"
+	// ReplayModeApp only replays readable plaintexts from a fresh session.
+	ReplayModeApp = "app"
+)
+
+// ReplaySpec tunes the replay attack family.
+type ReplaySpec struct {
+	// Mode selects the injection path: auto (default), raw or app.
+	Mode string `json:"mode,omitempty"`
+	// RetainBytes is the attacker capture's per-flow payload retention
+	// budget. Default 4096.
+	RetainBytes int `json:"retainBytes,omitempty"`
+}
 
 // TargetSpec selects which devices in each home the campaign attacks.
 // An empty spec matches the default sensor classes (contact and motion).
@@ -67,6 +92,10 @@ type Spec struct {
 	// RulesPerHome is the maximum number of synthetic TCA rules installed
 	// per home. Default 2.
 	RulesPerHome int `json:"rulesPerHome,omitempty"`
+	// Replay configures the replay attack family. A pointer so that specs
+	// of the other families marshal exactly as they did before the field
+	// existed, keeping historical checkpoint fingerprints valid.
+	Replay *ReplaySpec `json:"replay,omitempty"`
 }
 
 // DefaultSpec is the built-in campaign: one maximum-stealthy event delay
@@ -113,16 +142,43 @@ func (s *Spec) fill() {
 	if s.RulesPerHome == 0 {
 		s.RulesPerHome = 2
 	}
+	if s.Attack == AttackReplay {
+		if s.Replay == nil {
+			s.Replay = &ReplaySpec{}
+		}
+		if s.Replay.Mode == "" {
+			s.Replay.Mode = ReplayModeAuto
+		}
+		if s.Replay.RetainBytes == 0 {
+			s.Replay.RetainBytes = 4096
+		}
+	}
 }
 
 // Validate checks a (filled or raw) spec for semantic errors.
 func (s Spec) Validate() error {
 	switch s.Attack {
-	case AttackEDelay, AttackCDelay, AttackOffline:
+	case AttackEDelay, AttackCDelay, AttackOffline, AttackReplay:
 	case "":
 		return fmt.Errorf("fleet: spec has no attack family")
 	default:
 		return fmt.Errorf("fleet: unknown attack family %q", s.Attack)
+	}
+	if s.Replay != nil {
+		if s.Attack != AttackReplay {
+			return fmt.Errorf("fleet: replay settings given for attack family %q", s.Attack)
+		}
+		switch s.Replay.Mode {
+		case "", ReplayModeAuto, ReplayModeRaw, ReplayModeApp:
+		default:
+			return fmt.Errorf("fleet: unknown replay mode %q", s.Replay.Mode)
+		}
+		if s.Replay.RetainBytes < 0 {
+			return fmt.Errorf("fleet: negative replay.retainBytes %d", s.Replay.RetainBytes)
+		}
+		if s.Replay.RetainBytes > 1<<20 {
+			return fmt.Errorf("fleet: replay.retainBytes %d beyond sanity bound %d", s.Replay.RetainBytes, 1<<20)
+		}
 	}
 	if s.MarginSecs < 0 {
 		return fmt.Errorf("fleet: negative marginSecs %v", s.MarginSecs)

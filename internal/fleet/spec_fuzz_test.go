@@ -15,6 +15,11 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add([]byte(`[]`))
 	f.Add([]byte(`{"attack":"edelay","trials":-1}`))
 	f.Add([]byte(`{"attack":"edelay","holdSecs":1e300}`))
+	f.Add([]byte(`{"attack":"replay"}`))
+	f.Add([]byte(`{"attack":"replay","replay":{"mode":"raw","retainBytes":1024}}`))
+	f.Add([]byte(`{"attack":"replay","replay":{"mode":"verbatim"}}`))
+	f.Add([]byte(`{"attack":"replay","replay":{"retainBytes":-1}}`))
+	f.Add([]byte(`{"attack":"edelay","replay":{"mode":"app"}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := ParseSpec(data)
 		if err != nil {
@@ -25,6 +30,13 @@ func FuzzParseSpec(f *testing.F) {
 		}
 		if s.Attack == "" || s.Trials < 1 || s.Targets.PerHome < 1 {
 			t.Fatalf("accepted spec not filled: %+v (%q)", s, data)
+		}
+		if s.Attack == AttackReplay {
+			if s.Replay == nil || s.Replay.Mode == "" || s.Replay.RetainBytes < 1 {
+				t.Fatalf("accepted replay spec not filled: %+v (%q)", s.Replay, data)
+			}
+		} else if s.Replay != nil {
+			t.Fatalf("non-replay spec carries replay settings: %+v (%q)", s, data)
 		}
 	})
 }

@@ -55,31 +55,37 @@ type ModelSignature struct {
 }
 
 // wireLen converts an application-message pad length to the on-the-wire
-// TLS record size an observer measures.
-func wireLen(padLen int) int { return padLen + tlssim.Overhead }
+// TLS record size an observer measures. The per-record overhead depends on
+// the session's replay mode (explicit-sequence modes carry the sequence on
+// the wire), which the session owner's hello negotiates for the whole
+// session — children's messages ride the owner's records.
+func wireLen(padLen int, mode tlssim.ReplayMode) int {
+	return padLen + tlssim.ModeOverhead(mode)
+}
 
 // BuildSignature derives a model signature from ground-truth profiles (the
 // attacker obtains the same numbers empirically from a lab device; see
 // core.Profiler).
 func BuildSignature(owner device.Profile, children []device.Profile) ModelSignature {
 	sig := ModelSignature{Owner: owner.Label, KeepAlivePeriod: owner.KeepAlivePeriod}
+	mode := owner.ReplayMode
 	if owner.KeepAliveLen > 0 {
 		sig.Messages = append(sig.Messages, MsgSignature{
 			Origin: owner.Label, Kind: KindKeepAlive, Dir: DirClientToServer,
-			WireLen: wireLen(owner.KeepAliveLen),
+			WireLen: wireLen(owner.KeepAliveLen, mode),
 		})
 	}
 	add := func(p device.Profile) {
 		if p.EventLen > 0 {
 			sig.Messages = append(sig.Messages, MsgSignature{
 				Origin: p.Label, Kind: KindEvent, Dir: DirClientToServer,
-				WireLen: wireLen(p.EventLen),
+				WireLen: wireLen(p.EventLen, mode),
 			})
 		}
 		if p.CommandAttr != "" && p.CommandLen > 0 {
 			sig.Messages = append(sig.Messages, MsgSignature{
 				Origin: p.Label, Kind: KindCommand, Dir: DirServerToClient,
-				WireLen: wireLen(p.CommandLen),
+				WireLen: wireLen(p.CommandLen, mode),
 			})
 		}
 	}

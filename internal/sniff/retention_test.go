@@ -1,0 +1,262 @@
+package sniff_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/ipaddr"
+	"repro/internal/ipnet"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+	"repro/internal/sniff"
+	"repro/internal/tcpsim"
+	"repro/internal/tlssim"
+)
+
+// feeder crafts oriented frames for a single synthetic flow.
+type feeder struct {
+	cap      *sniff.Capture
+	src, dst tcpsim.Endpoint
+	nextSeq  uint32
+}
+
+func newFeeder(cap *sniff.Capture, clientPort uint16) *feeder {
+	f := &feeder{
+		cap: cap,
+		src: tcpsim.Endpoint{Addr: ipaddr.MustParse("192.168.1.10"), Port: clientPort},
+		dst: tcpsim.Endpoint{Addr: ipaddr.MustParse("100.64.10.10"), Port: 443},
+	}
+	f.frame(tcpsim.Segment{Seq: 100, Flags: tcpsim.FlagSYN}, f.src, f.dst)
+	f.frame(tcpsim.Segment{Seq: 500, Ack: 101, Flags: tcpsim.FlagSYN | tcpsim.FlagACK}, f.dst, f.src)
+	f.nextSeq = 101
+	return f
+}
+
+func (f *feeder) frame(seg tcpsim.Segment, from, to tcpsim.Endpoint) {
+	seg.SrcPort, seg.DstPort = from.Port, to.Port
+	p := ipnet.Packet{Src: from.Addr, Dst: to.Addr, Proto: ipnet.ProtoTCP, Payload: seg.Marshal()}
+	f.cap.HandleFrame(netsim.Frame{Type: netsim.EtherTypeIPv4, Payload: p.Marshal()})
+}
+
+// record sends one in-order application record with an n-byte body filled
+// with the given byte, and returns its full wire image.
+func (f *feeder) record(n int, fill byte) []byte {
+	rec := make([]byte, tlssim.HeaderLen+n)
+	rec[0] = byte(tlssim.RecordApplication)
+	rec[1], rec[2] = 3, 3
+	rec[3], rec[4] = byte(n>>8), byte(n)
+	for i := tlssim.HeaderLen; i < len(rec); i++ {
+		rec[i] = fill
+	}
+	f.frame(tcpsim.Segment{Seq: f.nextSeq, Flags: tcpsim.FlagACK, Payload: rec}, f.src, f.dst)
+	f.nextSeq += uint32(len(rec))
+	return rec
+}
+
+func TestRetentionBudgetEvictsOldestFirst(t *testing.T) {
+	cap := sniff.NewCapture(simtime.NewClock())
+	reg := obs.NewRegistry()
+	cap.Instrument(reg)
+	cap.RetainPayloads(100)
+	if cap.Retaining() != 100 {
+		t.Fatalf("Retaining = %d, want 100", cap.Retaining())
+	}
+
+	f := newFeeder(cap, 50000)
+	wires := [][]byte{f.record(40, 'a'), f.record(40, 'b'), f.record(40, 'c')}
+
+	recs := cap.Records()
+	if len(recs) != 3 {
+		t.Fatalf("captured %d records, want 3", len(recs))
+	}
+	// Three 45-byte records against a 100-byte budget: the first is evicted,
+	// the later two stay.
+	if recs[0].Payload != nil {
+		t.Fatal("oldest record still retained past the budget")
+	}
+	for i := 1; i < 3; i++ {
+		if !bytes.Equal(recs[i].Payload, wires[i]) {
+			t.Fatalf("record %d payload = %x, want wire image %x", i, recs[i].Payload, wires[i])
+		}
+	}
+	if cap.EvictedRecords() != 1 || cap.EvictedBytes() != 45 {
+		t.Fatalf("evicted %d records / %d bytes, want 1 / 45",
+			cap.EvictedRecords(), cap.EvictedBytes())
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("sniff_retained_evicted_records_total") != 1 ||
+		snap.Counter("sniff_retained_evicted_bytes_total") != 45 {
+		t.Fatalf("registry counters disagree with capture: %d / %d",
+			snap.Counter("sniff_retained_evicted_records_total"),
+			snap.Counter("sniff_retained_evicted_bytes_total"))
+	}
+}
+
+func TestRetentionBudgetIsPerFlow(t *testing.T) {
+	cap := sniff.NewCapture(simtime.NewClock())
+	cap.RetainPayloads(100)
+	a := newFeeder(cap, 50000)
+	b := newFeeder(cap, 50001)
+	// Fill flow A past its budget; flow B stays small.
+	a.record(40, 'a')
+	a.record(40, 'b')
+	a.record(40, 'c')
+	bw := b.record(40, 'x')
+
+	var bRecs []sniff.RecordMeta
+	for _, r := range cap.Records() {
+		if r.Flow.Client.Port == 50001 {
+			bRecs = append(bRecs, r)
+		}
+	}
+	if len(bRecs) != 1 || !bytes.Equal(bRecs[0].Payload, bw) {
+		t.Fatalf("flow B lost its payload to flow A's budget: %+v", bRecs)
+	}
+	if cap.EvictedRecords() != 1 {
+		t.Fatalf("evictions = %d, want 1 (flow A only)", cap.EvictedRecords())
+	}
+}
+
+func TestRetentionOversizedRecordEvictsItself(t *testing.T) {
+	cap := sniff.NewCapture(simtime.NewClock())
+	cap.RetainPayloads(40)
+	f := newFeeder(cap, 50000)
+	f.record(60, 'z') // 65 wire bytes > whole budget
+	recs := cap.Records()
+	if len(recs) != 1 {
+		t.Fatalf("captured %d records, want 1", len(recs))
+	}
+	if recs[0].Payload != nil {
+		t.Fatal("oversized record retained past the budget")
+	}
+	if cap.EvictedRecords() != 1 || cap.EvictedBytes() != 65 {
+		t.Fatalf("evicted %d / %d, want 1 / 65", cap.EvictedRecords(), cap.EvictedBytes())
+	}
+}
+
+func TestRetentionOffKeepsNothing(t *testing.T) {
+	cap := sniff.NewCapture(simtime.NewClock())
+	cap.RetainPayloads(-5) // negative clamps to off
+	if cap.Retaining() != 0 {
+		t.Fatalf("Retaining = %d, want 0", cap.Retaining())
+	}
+	f := newFeeder(cap, 50000)
+	f.record(40, 'a')
+	recs := cap.Records()
+	if len(recs) != 1 || recs[0].Payload != nil {
+		t.Fatalf("retention off but payload kept: %+v", recs)
+	}
+	if cap.EvictedRecords() != 0 {
+		t.Fatal("retention off still counted evictions")
+	}
+}
+
+func TestOutOfOrderBufferCapDropsAndCounts(t *testing.T) {
+	cap := sniff.NewCapture(simtime.NewClock())
+	reg := obs.NewRegistry()
+	cap.Instrument(reg)
+	f := newFeeder(cap, 50000)
+
+	// Non-contiguous future segments pile up in the reassembly buffer until
+	// the cap; everything past it is dropped and counted, not stored.
+	for i := 0; i < 520; i++ {
+		seq := f.nextSeq + 100 + uint32(i)*10
+		f.frame(tcpsim.Segment{Seq: seq, Flags: tcpsim.FlagACK, Payload: []byte{1}}, f.src, f.dst)
+	}
+	if cap.OOODropped() != 8 {
+		t.Fatalf("OOODropped = %d, want 8 (520 - cap of 512)", cap.OOODropped())
+	}
+	if got := reg.Snapshot().Counter("sniff_ooo_dropped_total"); got != 8 {
+		t.Fatalf("sniff_ooo_dropped_total = %d, want 8", got)
+	}
+	if len(cap.Records()) != 0 {
+		t.Fatal("out-of-order segments produced records without the gap filling")
+	}
+}
+
+// TestResetMatchesFreshCapture drives a dirtied-then-Reset capture and a
+// brand new one through the same frame sequence and requires bit-identical
+// observations — the property pooled attacker captures rely on under
+// testbed reuse.
+func TestResetMatchesFreshCapture(t *testing.T) {
+	run := func(cap *sniff.Capture) ([]sniff.RecordMeta, []sniff.FlowKey) {
+		cap.RetainPayloads(100)
+		f := newFeeder(cap, 50000)
+		f.record(40, 'a')
+		f.record(40, 'b')
+		f.record(40, 'c')
+		g := newFeeder(cap, 50001)
+		g.record(12, 'x')
+		return cap.Records(), cap.Flows()
+	}
+
+	fresh := sniff.NewCapture(simtime.NewClock())
+	wantRecs, wantFlows := run(fresh)
+
+	dirty := sniff.NewCapture(simtime.NewClock())
+	dirty.RetainPayloads(30)
+	dirty.OnRecord = func(sniff.RecordMeta) {}
+	h := newFeeder(dirty, 40000)
+	h.record(200, 'q')
+	h.record(10, 'r')
+	if dirty.EvictedRecords() == 0 {
+		t.Fatal("dirtying run produced no evictions; test setup is too clean")
+	}
+
+	dirty.Reset()
+	if dirty.Retaining() != 0 || dirty.EvictedRecords() != 0 || dirty.EvictedBytes() != 0 ||
+		dirty.OOODropped() != 0 || len(dirty.Records()) != 0 || len(dirty.Flows()) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+
+	gotRecs, gotFlows := run(dirty)
+	if !reflect.DeepEqual(gotRecs, wantRecs) {
+		t.Fatalf("reset capture diverges from fresh:\ngot  %+v\nwant %+v", gotRecs, wantRecs)
+	}
+	if !reflect.DeepEqual(gotFlows, wantFlows) {
+		t.Fatalf("reset flows diverge: got %v want %v", gotFlows, wantFlows)
+	}
+}
+
+// TestResetMatchesFreshCaptureOnTestbed repeats the reset-vs-fresh identity
+// over a real simulated home: same seed, same deployment, one capture fresh
+// and one recycled, byte-identical records including retained payloads.
+func TestResetMatchesFreshCaptureOnTestbed(t *testing.T) {
+	deploy := func(cap *sniff.Capture, budget int, labels ...string) *experiment.Testbed {
+		tb, err := experiment.NewTestbed(experiment.TestbedConfig{Seed: 11, Devices: labels})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cap.RetainPayloads(budget)
+		tb.LAN.AddTap(cap.Tap()) // before Start: the SYN orients the flow
+		tb.Start()
+		return tb
+	}
+	observe := func(cap *sniff.Capture) []sniff.RecordMeta {
+		tb := deploy(cap, 4096, "P2")
+		if err := tb.Device("P2").TriggerEvent("switch", "on"); err != nil {
+			t.Fatal(err)
+		}
+		tb.Clock.RunFor(2 * time.Second)
+		return cap.Records()
+	}
+
+	want := observe(sniff.NewCapture(simtime.NewClock()))
+
+	recycled := sniff.NewCapture(simtime.NewClock())
+	tb := deploy(recycled, 64, "C2") // dirty it against a different home first
+	tb.Clock.RunFor(30 * time.Second)
+	recycled.Reset()
+
+	got := observe(recycled)
+	if len(got) == 0 {
+		t.Fatal("no records observed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recycled capture diverges from fresh (%d vs %d records)", len(got), len(want))
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/ipnet"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/tcpsim"
 	"repro/internal/tlssim"
@@ -48,6 +49,10 @@ type RecordMeta struct {
 	Type tlssim.RecordType
 	// WireLen is the record's total on-the-wire size (header + body).
 	WireLen int
+	// Payload is the record's raw wire bytes (header included), retained
+	// only when the capture is in RetainPayloads mode and the per-flow
+	// budget has not evicted it. Replay attacks re-inject these bytes.
+	Payload []byte
 }
 
 // PlainLen estimates the record's plaintext length (application records
@@ -59,11 +64,30 @@ func (r RecordMeta) PlainLen() int {
 	return r.WireLen - tlssim.HeaderLen
 }
 
+// maxOOOSegments bounds the out-of-order reassembly buffer per stream
+// direction. A MITM'd connection puts two TCP streams on one four-tuple
+// (the device's and the attacker's re-origination of it); the losing
+// stream's segments never reassemble and would otherwise pile up here for
+// the life of the flow. Overflow drops the new segment and counts it.
+const maxOOOSegments = 512
+
 // Capture reassembles TLS record metadata from observed frames.
 type Capture struct {
 	clk     *simtime.Clock
 	flows   map[FlowKey]*flowState
 	records []RecordMeta
+
+	// retainBudget > 0 enables payload retention: each flow keeps up to
+	// that many raw record bytes, oldest-evicted-first.
+	retainBudget   int
+	evictedRecords uint64
+	evictedBytes   uint64
+	oooDropped     uint64
+
+	mEvictedRecords *obs.Counter
+	mEvictedBytes   *obs.Counter
+	mOOODropped     *obs.Counter
+
 	// OnRecord observes each record as it completes.
 	OnRecord func(RecordMeta)
 }
@@ -71,6 +95,10 @@ type Capture struct {
 type flowState struct {
 	key     FlowKey
 	streams [2]*dirStream
+	// retained indexes this flow's payload-bearing records (into
+	// Capture.records) in arrival order; retainedBytes is their budget use.
+	retained      []int
+	retainedBytes int
 }
 
 // dirStream reassembles one direction of a flow.
@@ -84,6 +112,52 @@ type dirStream struct {
 // NewCapture creates an empty capture.
 func NewCapture(clk *simtime.Clock) *Capture {
 	return &Capture{clk: clk, flows: make(map[FlowKey]*flowState)}
+}
+
+// Reset returns the capture to its freshly constructed state — flows,
+// records, retention mode, eviction counters and observer hooks all
+// cleared — keeping its allocations, so pooled attacker captures behave
+// byte-identically to NewCapture(clk) under testbed reuse.
+func (c *Capture) Reset() {
+	clear(c.flows)
+	// clear before truncating so retained payload references are released.
+	clear(c.records)
+	c.records = c.records[:0]
+	c.retainBudget = 0
+	c.evictedRecords, c.evictedBytes, c.oooDropped = 0, 0, 0
+	c.mEvictedRecords, c.mEvictedBytes, c.mOOODropped = nil, nil, nil
+	c.OnRecord = nil
+}
+
+// RetainPayloads turns on raw payload retention with the given per-flow
+// byte budget (0 turns it off). Only records observed after the call are
+// retained; when a flow exceeds its budget the oldest retained payloads
+// are evicted and counted.
+func (c *Capture) RetainPayloads(budgetPerFlow int) {
+	if budgetPerFlow < 0 {
+		budgetPerFlow = 0
+	}
+	c.retainBudget = budgetPerFlow
+}
+
+// Retaining reports the active per-flow retention budget (0 = off).
+func (c *Capture) Retaining() int { return c.retainBudget }
+
+// EvictedRecords counts payloads evicted by the per-flow retention budget.
+func (c *Capture) EvictedRecords() uint64 { return c.evictedRecords }
+
+// EvictedBytes counts payload bytes evicted by the retention budget.
+func (c *Capture) EvictedBytes() uint64 { return c.evictedBytes }
+
+// OOODropped counts out-of-order segments dropped by the reassembly cap.
+func (c *Capture) OOODropped() uint64 { return c.oooDropped }
+
+// Instrument attaches registry counters for the capture's memory-bound
+// events: retention evictions and out-of-order drops.
+func (c *Capture) Instrument(reg *obs.Registry) {
+	c.mEvictedRecords = reg.Counter("sniff_retained_evicted_records_total")
+	c.mEvictedBytes = reg.Counter("sniff_retained_evicted_bytes_total")
+	c.mOOODropped = reg.Counter("sniff_ooo_dropped_total")
 }
 
 // Tap returns a netsim tap feeding the capture; attach it to a segment (or
@@ -225,6 +299,11 @@ func (c *Capture) ingest(fs *flowState, dir Direction, st *dirStream, seg tcpsim
 		}
 		c.drainRecords(fs, dir, st)
 	case int32(seg.Seq-st.nextSeq) > 0:
+		if len(st.ooo) >= maxOOOSegments {
+			c.oooDropped++
+			c.mOOODropped.Inc()
+			return
+		}
 		// Detach from the delivered frame: netsim recycles its payload
 		// buffers once delivery returns, and this byte range waits here
 		// until the gap fills.
@@ -248,10 +327,37 @@ func (c *Capture) drainRecords(fs *flowState, dir Direction, st *dirStream) {
 			Type:    tlssim.RecordType(st.buf[0]),
 			WireLen: total,
 		}
+		if c.retainBudget > 0 {
+			// Clone before the truncation below reuses the stream buffer.
+			meta.Payload = append([]byte(nil), st.buf[:total]...)
+		}
 		st.buf = st.buf[total:]
+		idx := len(c.records)
 		c.records = append(c.records, meta)
+		if meta.Payload != nil {
+			c.retainRecord(fs, idx, total)
+		}
 		if c.OnRecord != nil {
 			c.OnRecord(meta)
 		}
+	}
+}
+
+// retainRecord charges a freshly retained payload against its flow's
+// budget, evicting the oldest retained payloads until it fits. A record
+// larger than the whole budget evicts itself immediately.
+func (c *Capture) retainRecord(fs *flowState, idx, size int) {
+	fs.retained = append(fs.retained, idx)
+	fs.retainedBytes += size
+	for fs.retainedBytes > c.retainBudget && len(fs.retained) > 0 {
+		old := fs.retained[0]
+		fs.retained = fs.retained[1:]
+		n := len(c.records[old].Payload)
+		c.records[old].Payload = nil
+		fs.retainedBytes -= n
+		c.evictedRecords++
+		c.evictedBytes += uint64(n)
+		c.mEvictedRecords.Inc()
+		c.mEvictedBytes.Add(uint64(n))
 	}
 }

@@ -1,0 +1,320 @@
+package tlssim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/ipaddr"
+	"repro/internal/ipnet"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+	"repro/internal/tcpsim"
+)
+
+// newModeEnv is newEnv with an explicit replay-mode offer from the client.
+func newModeEnv(t *testing.T, mode ReplayMode, window int) *env {
+	t.Helper()
+	clk := simtime.NewClock()
+	nw := netsim.NewNetwork(clk, 1)
+	seg := nw.NewSegment("lan", time.Millisecond, 0)
+
+	clientIP := ipnet.NewStack(clk, nw.NewHost("client"))
+	clientIP.MustAddIface(seg, "192.168.1.10/24")
+	serverIP := ipnet.NewStack(clk, nw.NewHost("server"))
+	serverIP.MustAddIface(seg, "192.168.1.20/24")
+
+	cliTCP := tcpsim.NewStack(clk, clientIP, tcpsim.Config{}, 7)
+	srvTCP := tcpsim.NewStack(clk, serverIP, tcpsim.Config{}, 8)
+
+	rng := simtime.NewRand(99)
+	e := &env{clk: clk}
+	if _, err := srvTCP.Listen(443, func(c *tcpsim.Conn) {
+		e.srv = Server(c, rng)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tcp := cliTCP.Dial(tcpsim.Endpoint{Addr: ipaddr.MustParse("192.168.1.20"), Port: 443})
+	e.cli = ClientWithMode(tcp, rng, mode, window)
+	clk.RunFor(time.Second)
+	if !e.cli.Established() || e.srv == nil || !e.srv.Established() {
+		t.Fatal("handshake did not complete")
+	}
+	return e
+}
+
+// TestModeNegotiation pins the hello wire format: the default offer stays
+// the 48-byte pre-negotiation hello, explicit offers ride two extra bytes,
+// and the server adopts the client's mode and window for the session.
+func TestModeNegotiation(t *testing.T) {
+	for _, tc := range []struct {
+		mode   ReplayMode
+		window int
+		want   int // expected adopted window
+	}{
+		{ModeSeqBound, 0, 0},
+		{ModeLegacyNonce, 0, 0},
+		{ModeLegacyNonce, 64, 64},
+		{ModeNullCipher, 8, 8},
+		{ModeNullCipher, 1 << 20, MaxReplayWindow}, // clamped
+		{ModeLegacyNonce, -3, 0},                   // clamped
+	} {
+		e := newModeEnv(t, tc.mode, tc.window)
+		if e.srv.Mode() != tc.mode {
+			t.Errorf("mode %v window %d: server adopted %v", tc.mode, tc.window, e.srv.Mode())
+		}
+		if e.srv.ReplayWindowSize() != tc.want {
+			t.Errorf("mode %v window %d: server window %d, want %d",
+				tc.mode, tc.window, e.srv.ReplayWindowSize(), tc.want)
+		}
+	}
+}
+
+// TestDefaultHelloIsLegacyCompatible checks that Client's hello is the
+// 48-byte form — replay-mode negotiation must not change the wire bytes of
+// sessions that never offer it.
+func TestDefaultHelloIsLegacyCompatible(t *testing.T) {
+	c := &Conn{priv: newX25519Key(simtime.NewRand(1))}
+	simtime.NewRand(2).Bytes(c.random[:])
+	body := make([]byte, 0, 50)
+	body = append(body, c.priv.PublicKey().Bytes()...)
+	body = append(body, c.random[:]...)
+	if len(body) != 48 {
+		t.Fatalf("default hello body is %d bytes, want 48", len(body))
+	}
+}
+
+// TestBadModeRejected: a hello carrying an undefined mode byte must fail
+// the handshake, and a server hello must never carry the negotiation bytes.
+func TestBadModeRejected(t *testing.T) {
+	clk := simtime.NewClock()
+	nw := netsim.NewNetwork(clk, 1)
+	seg := nw.NewSegment("lan", time.Millisecond, 0)
+	clientIP := ipnet.NewStack(clk, nw.NewHost("client"))
+	clientIP.MustAddIface(seg, "192.168.1.10/24")
+	serverIP := ipnet.NewStack(clk, nw.NewHost("server"))
+	serverIP.MustAddIface(seg, "192.168.1.20/24")
+	cliTCP := tcpsim.NewStack(clk, clientIP, tcpsim.Config{}, 7)
+	srvTCP := tcpsim.NewStack(clk, serverIP, tcpsim.Config{}, 8)
+
+	rng := simtime.NewRand(99)
+	var srv *Conn
+	if _, err := srvTCP.Listen(443, func(c *tcpsim.Conn) { srv = Server(c, rng) }); err != nil {
+		t.Fatal(err)
+	}
+	tcp := cliTCP.Dial(tcpsim.Endpoint{Addr: ipaddr.MustParse("192.168.1.20"), Port: 443})
+	tcp.OnEstablished = func() {
+		// A raw 50-byte hello with an out-of-range mode byte.
+		priv := newX25519Key(rng)
+		body := make([]byte, 0, 50)
+		body = append(body, priv.PublicKey().Bytes()...)
+		body = append(body, make([]byte, 16)...)
+		body = append(body, 0xEE, 0x00)
+		_ = tcp.Send(plainRecord(RecordHandshake, body))
+	}
+	clk.RunFor(time.Second)
+	if srv == nil {
+		t.Fatal("no server connection")
+	}
+	if srv.Established() {
+		t.Fatal("server established a session from an invalid mode offer")
+	}
+}
+
+// TestLegacyNonceVerbatimReplayAccepted: under ModeLegacyNonce with no
+// window, a verbatim captured record decrypts against its carried sequence
+// and is delivered twice — the raw-replay vulnerability.
+func TestLegacyNonceVerbatimReplayAccepted(t *testing.T) {
+	e := newModeEnv(t, ModeLegacyNonce, 0)
+	var got []string
+	e.srv.OnMessage = func(m []byte) { got = append(got, string(m)) }
+	rec := e.cli.seal(RecordApplication, []byte("event: leak detected"))
+	for i := 0; i < 2; i++ {
+		if err := e.cli.TCP().Send(rec); err != nil {
+			t.Fatal(err)
+		}
+		e.clk.RunFor(time.Second)
+	}
+	if len(got) != 2 || got[0] != got[1] {
+		t.Fatalf("server delivered %v, want the duplicate accepted", got)
+	}
+	if err := e.cli.Send([]byte("still alive")); err != nil {
+		t.Fatalf("session should survive a legacy replay: %v", err)
+	}
+}
+
+// TestReplayWindowDropsDuplicateSilently: with a negotiated window the
+// duplicate is discarded without an alert or teardown, DTLS-style.
+func TestReplayWindowDropsDuplicateSilently(t *testing.T) {
+	e := newModeEnv(t, ModeLegacyNonce, 64)
+	var got []string
+	var closed error
+	gotClose := false
+	e.srv.OnMessage = func(m []byte) { got = append(got, string(m)) }
+	e.srv.OnClose = func(err error) { closed, gotClose = err, true }
+	rec := e.cli.seal(RecordApplication, []byte("event: leak detected"))
+	for i := 0; i < 3; i++ {
+		if err := e.cli.TCP().Send(rec); err != nil {
+			t.Fatal(err)
+		}
+		e.clk.RunFor(time.Second)
+	}
+	if len(got) != 1 {
+		t.Fatalf("server delivered %v, want exactly one", got)
+	}
+	if gotClose {
+		t.Fatalf("window drop tore the session down: %v", closed)
+	}
+	if e.srv.AlertsRaised() != 0 {
+		t.Fatalf("window drop raised %d alerts, want none", e.srv.AlertsRaised())
+	}
+}
+
+// TestSeqBoundReplayTearsDown: the default mode treats a replayed record as
+// an authentication failure — alert and teardown, nothing delivered twice.
+func TestSeqBoundReplayTearsDown(t *testing.T) {
+	e := newEnv(t)
+	var got []string
+	var srvErr error
+	e.srv.OnMessage = func(m []byte) { got = append(got, string(m)) }
+	e.srv.OnClose = func(err error) { srvErr = err }
+	rec := e.cli.seal(RecordApplication, []byte("event: door open"))
+	for i := 0; i < 2; i++ {
+		if err := e.cli.TCP().Send(rec); err != nil {
+			t.Fatal(err)
+		}
+		e.clk.RunFor(time.Second)
+	}
+	if len(got) != 1 {
+		t.Fatalf("server delivered %v, want one", got)
+	}
+	if !errors.Is(srvErr, ErrBadRecord) {
+		t.Fatalf("server err = %v, want ErrBadRecord", srvErr)
+	}
+}
+
+// TestNullCipherReadableOnTheWire: null-cipher application records expose
+// the plaintext to ReadPlaintext; every other shape reads as nil.
+func TestNullCipherReadableOnTheWire(t *testing.T) {
+	e := newModeEnv(t, ModeNullCipher, 0)
+	msg := []byte("event: motion active")
+	rec := e.cli.seal(RecordApplication, msg)
+	if got := string(ReadPlaintext(rec)); got != string(msg) {
+		t.Fatalf("ReadPlaintext = %q, want %q", got, msg)
+	}
+
+	// Not readable: seq-bound ciphertext of the right type but the payload
+	// must not leak, handshake records, truncated and length-lying records.
+	seqEnv := newEnv(t)
+	ct := seqEnv.cli.seal(RecordApplication, msg)
+	if p := ReadPlaintext(ct); string(p) == string(msg) {
+		t.Fatal("ReadPlaintext recovered plaintext from a seq-bound record")
+	}
+	if p := ReadPlaintext(plainRecord(RecordHandshake, make([]byte, 48))); p != nil {
+		t.Fatal("ReadPlaintext accepted a handshake record")
+	}
+	if p := ReadPlaintext(rec[:HeaderLen+4]); p != nil {
+		t.Fatal("ReadPlaintext accepted a truncated record")
+	}
+	lying := append([]byte(nil), rec...)
+	lying[4]++ // header length no longer matches the body
+	if p := ReadPlaintext(lying); p != nil {
+		t.Fatal("ReadPlaintext accepted a length-lying record")
+	}
+}
+
+// TestModeOverheadMatchesWire pins ModeOverhead against actual sealed
+// records — the sniffing fingerprints depend on these constants.
+func TestModeOverheadMatchesWire(t *testing.T) {
+	msg := []byte("0123456789")
+	for _, mode := range []ReplayMode{ModeSeqBound, ModeLegacyNonce, ModeNullCipher} {
+		var e *env
+		if mode == ModeSeqBound {
+			e = newEnv(t)
+		} else {
+			e = newModeEnv(t, mode, 0)
+		}
+		rec := e.cli.seal(RecordApplication, msg)
+		if len(rec) != len(msg)+ModeOverhead(mode) {
+			t.Errorf("%v: wire %d bytes, want %d + %d", mode, len(rec), len(msg), ModeOverhead(mode))
+		}
+	}
+}
+
+// TestReplayWindowObserve covers the sliding-window edge cases directly.
+func TestReplayWindowObserve(t *testing.T) {
+	var w replayWindow
+	if !w.observe(5, 64) {
+		t.Fatal("first sequence rejected")
+	}
+	if w.observe(5, 64) {
+		t.Fatal("duplicate accepted")
+	}
+	if !w.observe(7, 64) || !w.observe(6, 64) {
+		t.Fatal("fresh in-window sequences rejected")
+	}
+	if w.observe(6, 64) {
+		t.Fatal("back-filled duplicate accepted")
+	}
+	// Too old to judge: at or below highest-size counts as replayed.
+	if !w.observe(200, 64) {
+		t.Fatal("large jump rejected")
+	}
+	if w.observe(100, 64) {
+		t.Fatal("sequence below the window accepted")
+	}
+	// A jump of >= 64 resets the mask entirely.
+	if !w.observe(500, 64) || !w.observe(499, 64) {
+		t.Fatal("post-jump sequences rejected")
+	}
+	w.reset()
+	if !w.observe(5, 64) {
+		t.Fatal("reset window rejected its first sequence")
+	}
+}
+
+// TestClampWindow pins the negotiation bounds.
+func TestClampWindow(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-1, 0}, {0, 0}, {1, 1}, {64, 64}, {65, 64}, {1 << 30, 64},
+	} {
+		if got := clampWindow(tc.in); got != tc.want {
+			t.Errorf("clampWindow(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestKeygenDeterministic guards the MaybeReadByte regression: two
+// connections built from equal seeds must produce byte-identical ciphertext
+// for the same conversation. ecdh.Curve.GenerateKey consumes a
+// scheduler-dependent number of reader bytes, which this construction must
+// never do — replayed ciphertext content is a simulation observable.
+func TestKeygenDeterministic(t *testing.T) {
+	sealOnce := func() []byte {
+		e := &env{}
+		clk := simtime.NewClock()
+		nw := netsim.NewNetwork(clk, 1)
+		seg := nw.NewSegment("lan", time.Millisecond, 0)
+		clientIP := ipnet.NewStack(clk, nw.NewHost("client"))
+		clientIP.MustAddIface(seg, "192.168.1.10/24")
+		serverIP := ipnet.NewStack(clk, nw.NewHost("server"))
+		serverIP.MustAddIface(seg, "192.168.1.20/24")
+		cliTCP := tcpsim.NewStack(clk, clientIP, tcpsim.Config{}, 7)
+		srvTCP := tcpsim.NewStack(clk, serverIP, tcpsim.Config{}, 8)
+		rng := simtime.NewRand(1234)
+		if _, err := srvTCP.Listen(443, func(c *tcpsim.Conn) { e.srv = Server(c, rng) }); err != nil {
+			t.Fatal(err)
+		}
+		tcp := cliTCP.Dial(tcpsim.Endpoint{Addr: ipaddr.MustParse("192.168.1.20"), Port: 443})
+		e.cli = Client(tcp, rng)
+		clk.RunFor(time.Second)
+		if !e.cli.Established() {
+			t.Fatal("handshake did not complete")
+		}
+		return e.cli.seal(RecordApplication, []byte("event: door open"))
+	}
+	a, b := sealOnce(), sealOnce()
+	if string(a) != string(b) {
+		t.Fatalf("same-seed ciphertext differs:\n%x\n%x", a, b)
+	}
+}

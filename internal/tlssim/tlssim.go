@@ -98,6 +98,12 @@ type Conn struct {
 	nonceBuf [12]byte
 	aadBuf   [13]byte
 
+	// mode/window are the negotiated replay protections (see replay.go):
+	// clients pick them at construction, servers adopt them from the hello.
+	mode       ReplayMode
+	window     int
+	recvWindow replayWindow
+
 	trace *obs.Trace
 	label string
 
@@ -113,13 +119,7 @@ type Conn struct {
 // Client starts a session as the initiator. The ClientHello goes out when
 // the underlying TCP connection establishes (immediately if it already is).
 func Client(tcp *tcpsim.Conn, rng *simtime.Rand) *Conn {
-	c := newConn(tcp, rng, true)
-	if tcp.State() == tcpsim.StateEstablished {
-		c.sendHello()
-	} else {
-		tcp.OnEstablished = c.sendHello
-	}
-	return c
+	return ClientWithMode(tcp, rng, ModeSeqBound, 0)
 }
 
 // Server starts a session as the responder on an accepted TCP connection.
@@ -128,12 +128,7 @@ func Server(tcp *tcpsim.Conn, rng *simtime.Rand) *Conn {
 }
 
 func newConn(tcp *tcpsim.Conn, rng *simtime.Rand, isClient bool) *Conn {
-	priv, err := ecdh.X25519().GenerateKey(&randReader{rng})
-	if err != nil {
-		// X25519 key generation from a working reader cannot fail.
-		panic("tlssim: keygen: " + err.Error())
-	}
-	c := &Conn{tcp: tcp, isClient: isClient, priv: priv}
+	c := &Conn{tcp: tcp, isClient: isClient, priv: newX25519Key(rng)}
 	rng.Bytes(c.random[:])
 	tcp.OnData = c.onData
 	tcp.OnClose = func(err error) { c.teardown(err) }
@@ -148,13 +143,8 @@ func newConn(tcp *tcpsim.Conn, rng *simtime.Rand, isClient bool) *Conn {
 // Server(tcp, rng) on the same inputs. Observer hooks and tracing are
 // cleared for the owner to rewire.
 func (c *Conn) Reset(tcp *tcpsim.Conn, rng *simtime.Rand) {
-	priv, err := ecdh.X25519().GenerateKey(&randReader{rng})
-	if err != nil {
-		// X25519 key generation from a working reader cannot fail.
-		panic("tlssim: keygen: " + err.Error())
-	}
 	c.tcp = tcp
-	c.priv = priv
+	c.priv = newX25519Key(rng)
 	rng.Bytes(c.random[:])
 	c.peerRandom = [16]byte{}
 	c.established = false
@@ -164,6 +154,8 @@ func (c *Conn) Reset(tcp *tcpsim.Conn, rng *simtime.Rand) {
 	c.sendAEAD, c.recvAEAD = nil, nil
 	c.rbuf = c.rbuf[:0]
 	c.alertsRaised = 0
+	c.mode, c.window = ModeSeqBound, 0
+	c.recvWindow.reset()
 	c.trace, c.label = nil, ""
 	c.OnEstablished, c.OnMessage, c.OnClose = nil, nil, nil
 	tcp.OnData = c.onData
@@ -229,9 +221,15 @@ func (c *Conn) Close() {
 }
 
 func (c *Conn) sendHello() {
-	body := make([]byte, 0, 48)
+	body := make([]byte, 0, 50)
 	body = append(body, c.priv.PublicKey().Bytes()...)
 	body = append(body, c.random[:]...)
+	// Replay-mode negotiation rides two extra hello bytes; the default
+	// seq-bound/no-window offer stays byte-identical to the 48-byte hello
+	// that predates it.
+	if c.mode != ModeSeqBound || c.window > 0 {
+		body = append(body, byte(c.mode), byte(c.window))
+	}
 	rec := plainRecord(RecordHandshake, body)
 	// Transport errors surface later through OnClose; a failed hello simply
 	// never completes the handshake.
@@ -273,7 +271,7 @@ func (c *Conn) processRecord(typ RecordType, body []byte) {
 }
 
 func (c *Conn) processHandshake(body []byte) {
-	if c.established || len(body) != 48 {
+	if c.established || (len(body) != 48 && len(body) != 50) {
 		c.fail("unexpected_handshake")
 		return
 	}
@@ -283,6 +281,17 @@ func (c *Conn) processHandshake(body []byte) {
 		return
 	}
 	copy(c.peerRandom[:], body[32:48])
+	if len(body) == 50 {
+		// Replay-mode negotiation: only a client hello may carry it, and the
+		// server adopts the client's offer for both directions.
+		mode := ReplayMode(body[48])
+		if c.isClient || !mode.Valid() {
+			c.fail("bad_replay_mode")
+			return
+		}
+		c.mode = mode
+		c.window = clampWindow(int(body[49]))
+	}
 	shared, err := c.priv.ECDH(peerPub)
 	if err != nil {
 		c.fail("key_agreement_failed")
@@ -353,6 +362,10 @@ func (c *Conn) processApplication(body []byte) {
 		c.fail("record_before_handshake")
 		return
 	}
+	if c.mode != ModeSeqBound {
+		c.processExplicitSeq(body)
+		return
+	}
 	nonce := c.seqNonce(c.recvSeq)
 	aad := c.additionalData(RecordApplication, c.recvSeq, len(body))
 	plain, err := c.recvAEAD.Open(nil, nonce, body, aad)
@@ -396,6 +409,9 @@ func (c *Conn) teardown(err error) {
 }
 
 func (c *Conn) seal(typ RecordType, plain []byte) []byte {
+	if c.mode != ModeSeqBound {
+		return c.sealExplicit(typ, plain)
+	}
 	nonce := c.seqNonce(c.sendSeq)
 	aad := c.additionalData(typ, c.sendSeq, len(plain)+16)
 	body := c.sendAEAD.Seal(nil, nonce, plain, aad)
@@ -434,13 +450,21 @@ func (c *Conn) additionalData(typ RecordType, seq uint64, bodyLen int) []byte {
 	return c.aadBuf[:]
 }
 
-// randReader adapts the deterministic simulation source to io.Reader for
-// key generation.
-type randReader struct {
-	r *simtime.Rand
-}
-
-func (r *randReader) Read(p []byte) (int, error) {
-	r.r.Bytes(p)
-	return len(p), nil
+// newX25519Key draws exactly 32 bytes from the deterministic simulation
+// source and builds the key directly. ecdh.Curve.GenerateKey is off-limits
+// here: it calls randutil.MaybeReadByte, which consumes an extra byte from
+// the reader on a scheduler coin-flip, so every later draw — session
+// randoms, keys, and therefore all ciphertext content — would differ run
+// to run. Record lengths and timing hide that, but the replay attack
+// re-issues captured ciphertext as application data, making content an
+// observable the simulation must pin down.
+func newX25519Key(rng *simtime.Rand) *ecdh.PrivateKey {
+	var seed [32]byte
+	rng.Bytes(seed[:])
+	priv, err := ecdh.X25519().NewPrivateKey(seed[:])
+	if err != nil {
+		// X25519 accepts any 32-byte string (clamping happens in ECDH).
+		panic("tlssim: keygen: " + err.Error())
+	}
+	return priv
 }
