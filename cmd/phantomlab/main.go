@@ -8,7 +8,7 @@
 //
 //	phantomlab [flags] <table1|table2|table3|verify|findings|defense|recon|ablation|replay|all>
 //	phantomlab fleet [-homes N] [-workers W] [-seed S] [-campaign spec.json]
-//	                 [-checkpoint state.json] [-out results.json]
+//	                 [-checkpoint state.json] [-out results.json] [-serve ADDR]
 //
 // Flags:
 //
@@ -19,25 +19,29 @@
 //	-metrics-format X  metrics encoding: json (default) or openmetrics
 //	-trace F           write the run's attack flight-recorder timeline to F
 //	-trace-format X    trace encoding: chrome (default, Perfetto-loadable) or text
+//	-serve ADDR        serve the live observability plane (/metrics, /progress,
+//	                   /trace, /healthz, /debug/pprof) on ADDR while the run executes
 //	-cpuprofile F      write a CPU profile of the run to F (go tool pprof)
 //	-memprofile F      write a heap profile taken at exit to F
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/device"
 	"repro/internal/experiment"
 	"repro/internal/fleet"
 	"repro/internal/obs"
+	"repro/internal/obs/serve"
 	"repro/internal/obs/timeline"
 )
 
@@ -95,6 +99,7 @@ func run(args []string) error {
 	metricsFormat := fs.String("metrics-format", "json", "metrics encoding: json or openmetrics")
 	traceOut := fs.String("trace", "", "write attack flight-recorder timeline to this file ("+strings.Join(traceCommands, "/")+")")
 	traceFormat := fs.String("trace-format", "chrome", "trace encoding: chrome (Perfetto-loadable) or text")
+	serveAddr := fs.String("serve", "", "serve the live observability plane on this address (e.g. :9090) while the run executes")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken at exit to this file")
 	if err := fs.Parse(args); err != nil {
@@ -134,7 +139,7 @@ func run(args []string) error {
 	// Flag parsing stops at the first positional, so subcommand flags
 	// arrive in fs.Args()[1:].
 	if fs.NArg() >= 1 && fs.Arg(0) == "fleet" {
-		return runFleet(fs.Args()[1:])
+		return runFleet(fs.Args()[1:], *serveAddr)
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
@@ -146,22 +151,39 @@ func run(args []string) error {
 	}
 
 	opts := experiment.TableOptions{Seed: *seed, Trials: *trials, Recovery: *recovery}
-	if *traceOut != "" {
+	// -serve engages the flight recorder like -trace does: the live /trace
+	// endpoint is only useful if rows record events. (Precedent: -trace
+	// already changes what -metrics sees, since snapshots carry the ring.)
+	if *traceOut != "" || *serveAddr != "" {
 		opts.TraceCap = cliTraceCap
 	}
 	out := os.Stdout
 
-	// Metrics snapshots from every command of this invocation, for
-	// -metrics: per-testbed snapshots merge into a single file. Trace
-	// sources are the per-run event streams behind -trace, one named
-	// timeline per table row / case / verified device.
-	var metricSnaps []obs.Snapshot
-	var traceSrcs []timeline.Source
+	// Metrics snapshots from every command of this invocation stream into
+	// one accumulator, the single source behind both the -metrics file and
+	// the live /metrics endpoint. Trace sources are the per-run event
+	// streams behind -trace and /trace, one named timeline per table row /
+	// case / verified device; the store is mutex-guarded because the serve
+	// plane reads it mid-run.
+	acc := obs.NewAccumulator()
+	var traceSrcs traceStore
+
+	if *serveAddr != "" {
+		srv, err := serve.Start(*serveAddr, serve.Plane{
+			Metrics:      acc.State,
+			TraceSources: traceSrcs.snapshot,
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "phantomlab: serving observability plane on http://%s\n", srv.Addr())
+	}
 
 	rowSources := func(rows []experiment.TableRow) {
 		for _, r := range rows {
 			if len(r.Metrics.Trace) > 0 {
-				traceSrcs = append(traceSrcs, timeline.Source{Name: r.Label, Events: r.Metrics.Trace})
+				traceSrcs.add(timeline.Source{Name: r.Label, Events: r.Metrics.Trace})
 			}
 		}
 	}
@@ -170,7 +192,7 @@ func run(args []string) error {
 		switch name {
 		case "table1":
 			rows := runTable(cloudLabels(), opts, *parallel)
-			metricSnaps = append(metricSnaps, experiment.MergedMetrics(rows))
+			acc.Add(experiment.MergedMetrics(rows))
 			rowSources(rows)
 			if *jsonOut {
 				return experiment.WriteRowsJSON(out, rows)
@@ -180,7 +202,7 @@ func run(args []string) error {
 			t2 := opts
 			t2.UnboundedDemo = 2 * time.Hour
 			rows := runTable(localLabels(), t2, *parallel)
-			metricSnaps = append(metricSnaps, experiment.MergedMetrics(rows))
+			acc.Add(experiment.MergedMetrics(rows))
 			rowSources(rows)
 			if *jsonOut {
 				return experiment.WriteRowsJSON(out, rows)
@@ -188,16 +210,16 @@ func run(args []string) error {
 			experiment.FormatRows(out, "Table II — HomeKit accessories on a local hub (17)", rows)
 		case "table3":
 			cases := experiment.Table3Cases()
-			if *traceOut != "" {
+			if opts.TraceCap != 0 {
 				for i := range cases {
-					cases[i].TraceCap = cliTraceCap
+					cases[i].TraceCap = opts.TraceCap
 				}
 			}
 			results := experiment.RunCases(cases, *seed+500)
 			for _, r := range results {
-				metricSnaps = append(metricSnaps, r.Metrics)
+				acc.Add(r.Metrics)
 				if len(r.Metrics.Trace) > 0 {
-					traceSrcs = append(traceSrcs, timeline.Source{
+					traceSrcs.add(timeline.Source{
 						Name:   fmt.Sprintf("case-%d", r.Case.ID),
 						Events: r.Metrics.Trace,
 					})
@@ -213,16 +235,16 @@ func run(args []string) error {
 				Seed: *seed + 600, Trials: *trials, TraceCap: opts.TraceCap,
 			})
 			for _, r := range results {
-				metricSnaps = append(metricSnaps, r.Metrics)
+				acc.Add(r.Metrics)
 				if len(r.Metrics.Trace) > 0 {
-					traceSrcs = append(traceSrcs, timeline.Source{Name: r.Label, Events: r.Metrics.Trace})
+					traceSrcs.add(timeline.Source{Name: r.Label, Events: r.Metrics.Trace})
 				}
 			}
 			experiment.FormatVerifyResults(out, results)
 		case "findings":
 			results := experiment.RunFindings(*seed + 700)
 			for _, r := range results {
-				metricSnaps = append(metricSnaps, r.Metrics)
+				acc.Add(r.Metrics)
 			}
 			experiment.FormatFindings(out, results)
 		case "defense":
@@ -230,9 +252,9 @@ func run(args []string) error {
 				[]time.Duration{20 * time.Second, 10 * time.Second, 5 * time.Second}, *seed+800)
 			ts := experiment.RunTimestampDefense(*seed + 820)
 			for _, r := range ack {
-				metricSnaps = append(metricSnaps, r.Metrics)
+				acc.Add(r.Metrics)
 			}
-			metricSnaps = append(metricSnaps, ts.Metrics)
+			acc.Add(ts.Metrics)
 			experiment.FormatDefenseResults(out, ack, ts)
 		case "recon":
 			labels := []string{"C1", "M1", "L2", "M2", "C2", "M3", "LK1", "P2", "CM1", "K2", "SD1", "P4"}
@@ -243,9 +265,9 @@ func run(args []string) error {
 				Seed: *seed + 1300, TraceCap: opts.TraceCap,
 			})
 			for _, r := range results {
-				metricSnaps = append(metricSnaps, r.Metrics)
+				acc.Add(r.Metrics)
 				if len(r.Metrics.Trace) > 0 {
-					traceSrcs = append(traceSrcs, timeline.Source{Name: "replay-" + r.Label, Events: r.Metrics.Trace})
+					traceSrcs.add(timeline.Source{Name: "replay-" + r.Label, Events: r.Metrics.Trace})
 				}
 			}
 			experiment.FormatReplayTable(out, results)
@@ -271,15 +293,16 @@ func run(args []string) error {
 	} else if err := runOne(cmd); err != nil {
 		return err
 	}
-	if err := writeMetrics(*metricsOut, *metricsFormat, cmd, metricSnaps); err != nil {
+	if err := writeMetrics(*metricsOut, *metricsFormat, cmd, acc); err != nil {
 		return err
 	}
-	return writeTrace(*traceOut, *traceFormat, cmd, traceSrcs)
+	return writeTrace(*traceOut, *traceFormat, cmd, traceSrcs.snapshot())
 }
 
 // runFleet executes the fleet subcommand: a sharded attack campaign over a
-// synthetic population of homes.
-func runFleet(args []string) error {
+// synthetic population of homes. inheritServe carries a -serve given before
+// the subcommand word; fleet's own -serve flag overrides it.
+func runFleet(args []string, inheritServe string) error {
 	fs := flag.NewFlagSet("phantomlab fleet", flag.ContinueOnError)
 	homes := fs.Int("homes", 100, "population size")
 	workers := fs.Int("workers", 1, "worker-pool size (wall-clock only; results are identical for any value)")
@@ -289,6 +312,7 @@ func runFleet(args []string) error {
 	outPath := fs.String("out", "", "write aggregated results JSON to this file (default stdout)")
 	shardSize := fs.Int("shard-size", fleet.DefaultShardSize, "homes per checkpoint shard")
 	reuse := fs.Bool("reuse", false, "recycle one testbed arena per worker (allocation only; results are identical either way)")
+	serveAddr := fs.String("serve", inheritServe, "serve the live observability plane on this address (e.g. :9090) while the campaign runs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -307,7 +331,13 @@ func runFleet(args []string) error {
 		}
 	}
 
-	progress := &fleetProgress{w: os.Stderr, start: time.Now(), homesTotal: *homes}
+	// The campaign folds shard metrics into acc as they land; the tracker
+	// folds the same shard results into running progress. Both sit on the
+	// wall-clock side: the serve plane reads them concurrently while the
+	// collector writes, and neither can perturb the aggregate — results
+	// stay byte-identical with -serve on or off.
+	acc := obs.NewAccumulator()
+	tracker := fleet.NewProgressTracker(time.Now(), *homes)
 	c := fleet.Campaign{
 		Spec:           spec,
 		Homes:          *homes,
@@ -316,8 +346,33 @@ func runFleet(args []string) error {
 		Seed:           *seed,
 		CheckpointPath: *checkpointPath,
 		ReuseTestbeds:  *reuse,
-		OnShard:        progress.onShard,
+		Accumulator:    acc,
+		OnShard: func(s fleet.ShardResult, done, total int) {
+			tracker.OnShard(s, done, total)
+			fmt.Fprintln(os.Stderr, tracker.LineAt(time.Now()))
+		},
 	}
+
+	if *serveAddr != "" {
+		srv, err := serve.Start(*serveAddr, serve.Plane{
+			Metrics:  acc.State,
+			Progress: func() any { return tracker.ReportAt(time.Now()) },
+			// Fleet homes run traceless, so /trace serves a valid empty
+			// trace unless a future spec turns the recorder on.
+			TraceSources: func() []timeline.Source {
+				if t := acc.State().Trace; len(t) > 0 {
+					return []timeline.Source{{Name: "fleet", Events: t}}
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "phantomlab: serving observability plane on http://%s\n", srv.Addr())
+	}
+
 	res, err := c.Run()
 	if err != nil {
 		return err
@@ -335,61 +390,34 @@ func runFleet(args []string) error {
 	return res.WriteJSON(w)
 }
 
-// fleetProgress renders live campaign progress on stderr: homes completed,
-// throughput, per-model running success rate, and an ETA. It runs on the
-// campaign's collector goroutine and only writes to w — it never touches
-// the aggregated results, which stay byte-identical with or without it.
-type fleetProgress struct {
-	w          io.Writer
-	start      time.Time
-	homesTotal int
-
-	homesDone int
-	models    []string // insertion-ordered model names
-	trials    map[string]int
-	successes map[string]int
+// traceStore collects the run's per-timeline event streams. The run loop
+// appends; the serve plane's /trace handler snapshots concurrently, so
+// access is mutex-guarded.
+type traceStore struct {
+	mu   sync.Mutex
+	srcs []timeline.Source
 }
 
-func (p *fleetProgress) onShard(s fleet.ShardResult, done, total int) {
-	if p.trials == nil {
-		p.trials = make(map[string]int)
-		p.successes = make(map[string]int)
-	}
-	p.homesDone += s.Homes
-	for _, t := range s.Tallies {
-		if _, ok := p.trials[t.Model]; !ok {
-			p.models = append(p.models, t.Model)
-		}
-		p.trials[t.Model] += t.Trials
-		p.successes[t.Model] += t.Successes
-	}
-
-	line := fmt.Sprintf("fleet: shard %d/%d  homes %d/%d", done, total, p.homesDone, p.homesTotal)
-	if elapsed := time.Since(p.start).Seconds(); elapsed > 0 {
-		rate := float64(p.homesDone) / elapsed
-		line += fmt.Sprintf("  %.1f homes/s", rate)
-		if remaining := p.homesTotal - p.homesDone; remaining > 0 && rate > 0 {
-			eta := time.Duration(float64(remaining)/rate*float64(time.Second)).Round(time.Second)
-			line += fmt.Sprintf("  ETA %v", eta)
-		}
-	}
-	sort.Strings(p.models)
-	for _, m := range p.models {
-		if n := p.trials[m]; n > 0 {
-			line += fmt.Sprintf("  %s %.0f%%", m, 100*float64(p.successes[m])/float64(n))
-		}
-	}
-	fmt.Fprintln(p.w, line)
+func (t *traceStore) add(s timeline.Source) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.srcs = append(t.srcs, s)
 }
 
-// writeMetrics dumps the merged metrics snapshot of the run to path, in the
+func (t *traceStore) snapshot() []timeline.Source {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]timeline.Source(nil), t.srcs...)
+}
+
+// writeMetrics dumps the run's accumulated metrics to path, in the
 // requested encoding. A run that produced no snapshots has nothing
 // meaningful to write — that is a usage error, not an empty file.
-func writeMetrics(path, format, cmd string, snaps []obs.Snapshot) error {
+func writeMetrics(path, format, cmd string, acc *obs.Accumulator) error {
 	if path == "" {
 		return nil
 	}
-	if len(snaps) == 0 {
+	if acc.Adds() == 0 {
 		return fmt.Errorf("-metrics: command %q produces no metrics (supported: %s)", cmd, strings.Join(metricsCommands, ", "))
 	}
 	f, err := os.Create(path)
@@ -397,9 +425,11 @@ func writeMetrics(path, format, cmd string, snaps []obs.Snapshot) error {
 		return fmt.Errorf("metrics output: %w", err)
 	}
 	if format == "openmetrics" {
-		err = obs.WriteOpenMetrics(f, obs.Merge(snaps...))
+		err = obs.WriteOpenMetrics(f, acc.State())
 	} else {
-		err = experiment.WriteSnapshotsJSON(f, snaps)
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(acc.State())
 	}
 	if err != nil {
 		f.Close()

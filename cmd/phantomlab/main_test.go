@@ -177,7 +177,7 @@ func TestRunTraceRejectsBadUsage(t *testing.T) {
 
 func TestWriteMetricsRejectsEmpty(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "metrics.json")
-	err := writeMetrics(path, "json", "recon", nil)
+	err := writeMetrics(path, "json", "recon", obs.NewAccumulator())
 	if err == nil {
 		t.Fatal("empty snapshot set should be rejected")
 	}
@@ -215,6 +215,33 @@ func TestRunFleetCommand(t *testing.T) {
 	}
 	if res.TotalTrials == 0 || len(res.PerModel) == 0 {
 		t.Fatalf("fleet result looks empty: %+v", res)
+	}
+}
+
+// TestRunFleetServeIdentity is the acceptance gate for -serve: a campaign
+// scraped live over HTTP writes byte-identical results to one run dark.
+func TestRunFleetServeIdentity(t *testing.T) {
+	dir := t.TempDir()
+	outDark := filepath.Join(dir, "dark.json")
+	outServed := filepath.Join(dir, "served.json")
+	if err := run([]string{"fleet", "-homes", "8", "-workers", "2", "-seed", "11",
+		"-out", outDark}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"fleet", "-homes", "8", "-workers", "2", "-seed", "11",
+		"-serve", "127.0.0.1:0", "-out", outServed}); err != nil {
+		t.Fatal(err)
+	}
+	dark, err := os.ReadFile(outDark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := os.ReadFile(outServed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dark, served) {
+		t.Fatal("fleet results differ with -serve on")
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"repro/internal/analysis/simdeterminism"
 	"repro/internal/analysis/timerguard"
 	"repro/internal/analysis/traceguard"
+	"repro/internal/analysis/wallclockboundary"
 )
 
 // suite is the phantomlint analyzer set, in reporting order.
@@ -39,6 +40,7 @@ var suite = []*analysis.Analyzer{
 	simdeterminism.Analyzer,
 	timerguard.Analyzer,
 	traceguard.Analyzer,
+	wallclockboundary.Analyzer,
 }
 
 func main() {

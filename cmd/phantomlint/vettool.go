@@ -59,7 +59,7 @@ func vettoolMain(suite []*analysis.Analyzer) bool {
 		case a == "-V=full":
 			// The reported version feeds the build cache key; bump it when
 			// analyzer semantics change so cached vet verdicts invalidate.
-			fmt.Println("phantomlint version 1 suite=maporder,simdeterminism,timerguard,traceguard")
+			fmt.Println("phantomlint version 2 suite=maporder,resetalloc,simdeterminism,timerguard,traceguard,wallclockboundary")
 			return true
 		case a == "-flags":
 			type flagDef struct {

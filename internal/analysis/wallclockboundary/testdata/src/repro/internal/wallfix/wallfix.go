@@ -1,0 +1,23 @@
+// Package wallfix exercises the wallclockboundary analyzer: simulation
+// packages importing real networking or the observability plane are
+// findings; deterministic stdlib imports and suppressed lines are not.
+package wallfix
+
+import (
+	"fmt"
+	_ "net"                // want `import net crosses the sim/wall-clock boundary`
+	_ "net/http"           // want `import net/http crosses the sim/wall-clock boundary`
+	_ "net/http/httptest"  // want `import net/http/httptest crosses the sim/wall-clock boundary`
+	"time"
+
+	_ "repro/internal/obs/serve" // want `import repro/internal/obs/serve crosses the sim/wall-clock boundary`
+
+	//lint:allow wallclockboundary -- fixture demonstrates suppression
+	_ "net/http/pprof"
+)
+
+// Good: deterministic stdlib imports stay fine — the analyzer bans the
+// network boundary, not the standard library.
+func fine() string {
+	return fmt.Sprint(3 * time.Second)
+}

@@ -1,0 +1,98 @@
+// Package wallclockboundary keeps simulation packages on their side of
+// the sim/wall-clock seam: they must not import the live observability
+// plane (repro/internal/obs/serve) or real networking (net, net/http/...).
+//
+// The reproduction's layering puts everything nondeterministic — HTTP
+// serving, real sockets, pprof — on the wall-clock side, wired up by
+// cmd/* binaries through read hooks. The dependency arrow points one way:
+// serve reads simulation state (obs.Accumulator.State), simulation code
+// never calls out to serve. If a simulation package imported net/http,
+// real I/O and its scheduling could leak into code whose results must be
+// a pure function of (seed, config), and the package would stop building
+// in environments without network stacks. This analyzer makes the arrow
+// mechanical, the import-graph complement of simdeterminism's ban on
+// wall-clock reads.
+//
+// Out of scope: everything outside repro/internal/* (cmd/* and examples/*
+// own the wall-clock side), repro/internal/bench (harness), and
+// repro/internal/analysis (the linter itself). repro/internal/obs/serve
+// is the one internal package that lives on the wall-clock side by
+// charter, so it is exempt — and everything else is banned from importing
+// it, which keeps the exemption from spreading.
+package wallclockboundary
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the wallclockboundary check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclockboundary",
+	Doc: "ban sim packages from importing the observability plane or real networking " +
+		"(repro/internal/obs/serve, net, net/http/...); serving belongs on the wall-clock side",
+	Run: run,
+}
+
+// servePkg is the wall-clock-side observability plane.
+const servePkg = "repro/internal/obs/serve"
+
+// allowedPrefixes exempt whole package subtrees from the check.
+var allowedPrefixes = []string{
+	"repro/internal/bench",
+	"repro/internal/analysis",
+	servePkg,
+}
+
+// scoped reports whether the analyzer applies to the package at path.
+func scoped(path string) bool {
+	if !strings.HasPrefix(path, "repro/internal/") {
+		return false
+	}
+	for _, p := range allowedPrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return false
+		}
+	}
+	return true
+}
+
+// banned explains why an import path is off-limits for simulation code,
+// or returns "" when it is fine.
+func banned(path string) string {
+	switch {
+	case path == servePkg:
+		return "the observability plane reads simulation state, never the reverse"
+	case path == "net", path == "net/http", strings.HasPrefix(path, "net/http/"):
+		return "real networking is nondeterministic"
+	}
+	return ""
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !scoped(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		// Defensive: the standalone driver never loads _test.go files, but
+		// fixture harnesses could.
+		if name := pass.Fset.Position(f.Pos()).Filename; strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why := banned(path); why != "" {
+				pass.Reportf(imp.Pos(), fmt.Sprintf(
+					"import %s crosses the sim/wall-clock boundary (%s): keep serving in cmd/ or %s",
+					path, why, servePkg))
+			}
+		}
+	}
+	return nil, nil
+}

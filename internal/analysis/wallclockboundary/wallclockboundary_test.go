@@ -1,0 +1,15 @@
+package wallclockboundary_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wallclockboundary"
+)
+
+func TestWallClockBoundary(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclockboundary.Analyzer,
+		"repro/internal/wallfix", // banned imports, allowed imports, a suppression
+		"repro/cmd/wallfixcmd",   // wall-clock side: no findings expected
+	)
+}

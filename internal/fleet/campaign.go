@@ -48,6 +48,14 @@ type Campaign struct {
 	// completion order. All calls happen on the collector goroutine, and
 	// the callback observes results only — it cannot alter aggregation.
 	OnShard func(s ShardResult, done, total int)
+	// Accumulator, when set, is the streaming sink for shard metrics: the
+	// collector folds each shard's snapshot into it in shard-index order as
+	// results land, and the final Result.Metrics is its end state. External
+	// readers (the -serve observability plane) may call State() at any time
+	// from any goroutine; what they see is always the aggregate of a prefix
+	// of the campaign's shards. It must be fresh (zero Adds) when Run
+	// starts — Run owns the fold. When nil, Run uses a private accumulator.
+	Accumulator *obs.Accumulator
 }
 
 // ShardResult is the deterministic outcome of one shard: a pure function
@@ -85,8 +93,11 @@ func (c Campaign) shardCount() int {
 // Run executes the campaign: shards not present in the checkpoint are
 // distributed over the worker pool, each worker building one home's
 // testbed at a time (memory stays bounded by Workers, not Homes), and the
-// shard results are aggregated in shard order into a worker-count-
-// independent Result.
+// shard results stream through an aggregator — folded in shard-index order
+// as they land, then released — into a worker-count-independent Result.
+// Only an active checkpoint retains shard results beyond their fold (the
+// checkpoint file stores every completed shard); without one, steady-state
+// memory is the aggregate plus a reorder window of roughly Workers shards.
 func (c Campaign) Run() (Result, error) {
 	c = c.withDefaults()
 	c.Spec.fill()
@@ -96,38 +107,49 @@ func (c Campaign) Run() (Result, error) {
 	if c.Homes <= 0 {
 		return Result{}, fmt.Errorf("fleet: campaign needs a positive number of homes, got %d", c.Homes)
 	}
+	if c.Accumulator != nil && c.Accumulator.Adds() != 0 {
+		return Result{}, fmt.Errorf("fleet: campaign accumulator already holds %d snapshots; Run needs a fresh one", c.Accumulator.Adds())
+	}
 
 	total := c.shardCount()
-	done := make(map[int]ShardResult, total)
+	agg := c.newAggregator(c.Accumulator)
+	doneCount := 0
 
 	var ck *checkpointer
+	// completed mirrors every finished shard for checkpoint saves — the
+	// one remaining retain-everything structure, inherent to the current
+	// checkpoint format, so it exists only when checkpointing is on.
+	var completed map[int]ShardResult
 	if c.CheckpointPath != "" {
 		ck = newCheckpointer(c.CheckpointPath, c.identity())
 		resumed, err := ck.load()
 		if err != nil {
 			return Result{}, err
 		}
+		completed = make(map[int]ShardResult, total)
 		for _, s := range resumed {
 			if s.Index >= 0 && s.Index < total {
-				done[s.Index] = s
+				completed[s.Index] = s
 			}
 		}
 	}
 	report := func() {
 		if c.Progress != nil {
-			c.Progress(len(done), total)
+			c.Progress(doneCount, total)
 		}
 	}
-	if c.OnShard != nil {
-		for i, s := range sortedShards(done) {
-			c.OnShard(s, i+1, total)
+	for _, s := range sortedShards(completed) {
+		doneCount++
+		agg.add(s)
+		if c.OnShard != nil {
+			c.OnShard(s, doneCount, total)
 		}
 	}
 	report()
 
 	var pending []int
 	for i := 0; i < total; i++ {
-		if _, ok := done[i]; !ok {
+		if _, ok := completed[i]; !ok {
 			pending = append(pending, i)
 		}
 	}
@@ -158,23 +180,26 @@ func (c Campaign) Run() (Result, error) {
 			close(results)
 		}()
 		// Single collector: completion order varies with the worker pool,
-		// but nothing order-sensitive happens here — results land in a map
-		// and checkpoints store shards sorted by index.
+		// but nothing order-sensitive happens here — the aggregator's
+		// reorder window restores index order before folding, and
+		// checkpoints store shards sorted by index.
 		for s := range results {
-			done[s.Index] = s
+			doneCount++
+			agg.add(s)
 			if ck != nil {
-				if err := ck.save(sortedShards(done)); err != nil {
+				completed[s.Index] = s
+				if err := ck.save(sortedShards(completed)); err != nil {
 					return Result{}, err
 				}
 			}
 			if c.OnShard != nil {
-				c.OnShard(s, len(done), total)
+				c.OnShard(s, doneCount, total)
 			}
 			report()
 		}
 	}
 
-	return c.aggregate(sortedShards(done)), nil
+	return agg.finish(), nil
 }
 
 // runShard generates and runs the shard's homes sequentially. Everything
@@ -194,7 +219,12 @@ func (c Campaign) runShard(idx int) ShardResult {
 		RulesPerHome: c.Spec.RulesPerHome,
 	}
 	tallies := make(map[string]*ModelTally)
-	snaps := make([]obs.Snapshot, 0, n)
+	// Home snapshots stream into a per-shard accumulator as each home
+	// completes — the same left fold as obs.Merge over the retained list,
+	// so the shard metrics are byte-identical while a home's snapshot (and
+	// with it the discarded testbed's last reachable state) is released as
+	// soon as the next home starts.
+	snaps := obs.NewAccumulator()
 	// With ReuseTestbeds on, one arena cycles through the shard's homes;
 	// runHome hands it back (or a replacement) after each home. Amortised
 	// over ShardSize homes, steady-state testbed construction allocates
@@ -223,10 +253,10 @@ func (c Campaign) runShard(idx int) ShardResult {
 			agg.add(*t)
 		}
 		sr.Alarms += hr.alarms
-		snaps = append(snaps, hr.snapshot)
+		snaps.Add(hr.snapshot)
 	}
 	sr.Tallies = sortTallies(tallies)
-	sr.Metrics = obs.Merge(snaps...)
+	sr.Metrics = snaps.State()
 	return sr
 }
 

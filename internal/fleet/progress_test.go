@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func progressShard(model string, homes, trials, successes int) ShardResult {
+	return ShardResult{
+		Homes:   homes,
+		Tallies: []ModelTally{{Model: model, Trials: trials, Successes: successes}},
+	}
+}
+
+func TestProgressTrackerReport(t *testing.T) {
+	start := time.Unix(1000, 0)
+	p := NewProgressTracker(start, 100)
+	p.OnShard(progressShard("C1", 10, 20, 18), 1, 5)
+	p.OnShard(progressShard("P4", 10, 8, 4), 2, 5)
+
+	r := p.ReportAt(start.Add(4 * time.Second))
+	if r.ShardsDone != 2 || r.ShardsTotal != 5 || r.HomesDone != 20 || r.HomesTotal != 100 {
+		t.Fatalf("counts wrong: %+v", r)
+	}
+	if r.HomesPerSec != 5 {
+		t.Fatalf("rate = %v, want 5", r.HomesPerSec)
+	}
+	if r.ETASecs != 16 {
+		t.Fatalf("eta = %v, want 16 (80 homes at 5/s)", r.ETASecs)
+	}
+	if len(r.PerModel) != 2 || r.PerModel[0].Model != "C1" || r.PerModel[1].Model != "P4" {
+		t.Fatalf("per-model not sorted: %+v", r.PerModel)
+	}
+	if r.PerModel[0].SuccessRate != 0.9 || r.PerModel[1].SuccessRate != 0.5 {
+		t.Fatalf("success rates wrong: %+v", r.PerModel)
+	}
+}
+
+// TestProgressLineFormat pins the stderr rendering — the same line format
+// the CLI printed before the formatter was shared with /progress.
+func TestProgressLineFormat(t *testing.T) {
+	start := time.Unix(1000, 0)
+	p := NewProgressTracker(start, 100)
+	p.OnShard(progressShard("P4", 10, 8, 4), 1, 5)
+	p.OnShard(progressShard("C1", 10, 20, 18), 2, 5)
+
+	got := p.LineAt(start.Add(4 * time.Second))
+	want := "fleet: shard 2/5  homes 20/100  5.0 homes/s  ETA 16s  C1 90%  P4 50%"
+	if got != want {
+		t.Fatalf("line = %q, want %q", got, want)
+	}
+
+	// Campaign complete: no ETA segment.
+	done := NewProgressTracker(start, 10)
+	done.OnShard(progressShard("C1", 10, 20, 20), 1, 1)
+	line := done.LineAt(start.Add(time.Second))
+	if strings.Contains(line, "ETA") {
+		t.Fatalf("completed campaign still shows ETA: %q", line)
+	}
+	if !strings.Contains(line, "C1 100%") {
+		t.Fatalf("missing model segment: %q", line)
+	}
+}
+
+func TestProgressTrackerZeroElapsed(t *testing.T) {
+	start := time.Unix(1000, 0)
+	p := NewProgressTracker(start, 100)
+	p.OnShard(progressShard("C1", 10, 1, 1), 1, 5)
+	r := p.ReportAt(start)
+	if r.HomesPerSec != 0 || r.ETASecs != 0 {
+		t.Fatalf("zero-elapsed report invented a rate: %+v", r)
+	}
+	if got := r.Line(); strings.Contains(got, "homes/s") {
+		t.Fatalf("zero-elapsed line shows a rate: %q", got)
+	}
+}
+
+// TestProgressTrackerConcurrent drives the wall-clock-plane shape under
+// -race: the collector folds while /progress readers report.
+func TestProgressTrackerConcurrent(t *testing.T) {
+	start := time.Unix(1000, 0)
+	p := NewProgressTracker(start, 1000)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				rep := p.ReportAt(start.Add(time.Second))
+				if rep.HomesDone%10 != 0 {
+					t.Errorf("torn read: homesDone = %d", rep.HomesDone)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		p.OnShard(progressShard("C1", 10, 5, 3), i+1, 100)
+	}
+	close(done)
+	wg.Wait()
+	if got := p.ReportAt(start.Add(time.Second)).HomesDone; got != 1000 {
+		t.Fatalf("homesDone = %d", got)
+	}
+}

@@ -54,9 +54,13 @@ type Result struct {
 	Metrics obs.Snapshot `json:"metrics"`
 }
 
-// aggregate folds sorted shard results into the campaign result,
-// combining metrics via obs.Merge in shard-index order.
-func (c Campaign) aggregate(shards []ShardResult) Result {
+// aggregateRetained is the seed's retain-all-then-merge aggregation: fold
+// sorted shard results into the campaign result, combining metrics via
+// obs.Merge in shard-index order. Run no longer uses it — aggregation
+// streams through an aggregator as shards land — but it stays as the
+// executable reference the byte-identity tests compare the streaming path
+// against (TestStreamingAggregateMatchesRetained).
+func (c Campaign) aggregateRetained(shards []ShardResult) Result {
 	res := Result{
 		Campaign:  c.Spec.Name,
 		Homes:     c.Homes,
@@ -82,6 +86,15 @@ func (c Campaign) aggregate(shards []ShardResult) Result {
 		}
 		snaps = append(snaps, s.Metrics)
 	}
+	res.finishTallies(tallies)
+	res.Metrics = obs.Merge(snaps...)
+	return res
+}
+
+// finishTallies folds the per-model tally map into the result's sorted
+// PerModel summaries and campaign totals. Shared by the retained reference
+// path and the streaming aggregator so their derived numbers cannot drift.
+func (res *Result) finishTallies(tallies map[string]*ModelTally) {
 	for _, t := range sortTallies(tallies) {
 		s := ModelSummary{
 			Model:        t.Model,
@@ -97,7 +110,91 @@ func (c Campaign) aggregate(shards []ShardResult) Result {
 		res.TotalSuccesses += t.Successes
 		res.PerModel = append(res.PerModel, s)
 	}
-	res.Metrics = obs.Merge(snaps...)
+}
+
+// aggregator is the streaming replacement for aggregateRetained: shard
+// results fold into the running campaign result as they land and are then
+// released — nothing is retained per shard. Fold order is part of the
+// byte-identity contract (error sampling order, floating-point tally and
+// histogram sums), so results arriving out of shard-index order wait in a
+// small reorder window until every lower-indexed shard has folded. With
+// roughly uniform shard costs the window holds O(workers) results; a
+// campaign's full shard set is never resident.
+//
+// The metrics side folds into an obs.Accumulator — mutex-guarded and
+// readable at any instant by the live observability plane — whose folded
+// prefix is, by the in-order guarantee, always a prefix of the final
+// aggregate.
+type aggregator struct {
+	res     Result
+	tallies map[string]*ModelTally
+	metrics *obs.Accumulator
+	next    int                 // next shard index to fold
+	window  map[int]ShardResult // out-of-order arrivals awaiting their turn
+}
+
+func (c Campaign) newAggregator(metrics *obs.Accumulator) *aggregator {
+	if metrics == nil {
+		metrics = obs.NewAccumulator()
+	}
+	return &aggregator{
+		res: Result{
+			Campaign:  c.Spec.Name,
+			Homes:     c.Homes,
+			Seed:      c.Seed,
+			ShardSize: c.ShardSize,
+			Spec:      c.Spec,
+		},
+		tallies: make(map[string]*ModelTally),
+		metrics: metrics,
+		window:  make(map[int]ShardResult),
+	}
+}
+
+// add accepts one shard result in any order, folding it — and any buffered
+// successors it unblocks — once it is next in index order.
+func (g *aggregator) add(s ShardResult) {
+	if s.Index != g.next {
+		g.window[s.Index] = s
+		return
+	}
+	g.fold(s)
+	for {
+		h, ok := g.window[g.next]
+		if !ok {
+			return
+		}
+		delete(g.window, g.next)
+		g.fold(h)
+	}
+}
+
+// fold applies one in-order shard: the same statements, in the same order,
+// as one iteration of aggregateRetained's loop.
+func (g *aggregator) fold(s ShardResult) {
+	g.res.HomesNoTarget += s.HomesNoTarget
+	g.res.HomesFailed += s.HomesFailed
+	g.res.HomesAttacked += s.Homes - s.HomesNoTarget - s.HomesFailed
+	g.res.Alarms += s.Alarms
+	g.res.Errors = append(g.res.Errors, s.Errors...)
+	for _, t := range s.Tallies {
+		agg, ok := g.tallies[t.Model]
+		if !ok {
+			agg = &ModelTally{Model: t.Model}
+			g.tallies[t.Model] = agg
+		}
+		agg.add(t)
+	}
+	g.metrics.Add(s.Metrics)
+	g.next++
+}
+
+// finish assembles the final Result. Every shard must have folded (the
+// reorder window drained) by the time it is called.
+func (g *aggregator) finish() Result {
+	res := g.res
+	res.finishTallies(g.tallies)
+	res.Metrics = g.metrics.State()
 	return res
 }
 

@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestStreamingAggregateMatchesRetained pins the tentpole guarantee: the
+// streaming aggregator (fold-as-they-land, retain nothing) produces a
+// Result byte-identical to the seed's retain-all-then-merge reference
+// (aggregateRetained), across worker counts, testbed reuse, and a
+// checkpointed resume.
+func TestStreamingAggregateMatchesRetained(t *testing.T) {
+	// Reference: run every shard sequentially, retain the results, and
+	// aggregate them the old way.
+	ref := testCampaign(t).withDefaults()
+	ref.Spec.fill()
+	var shards []ShardResult
+	for i := 0; i < ref.shardCount(); i++ {
+		shards = append(shards, ref.runShard(i))
+	}
+	want := resultJSON(t, ref.aggregateRetained(shards))
+
+	for _, tc := range []struct {
+		name       string
+		workers    int
+		reuse      bool
+		checkpoint bool
+	}{
+		{"workers=1", 1, false, false},
+		{"workers=4", 4, false, false},
+		{"workers=16", 16, false, false},
+		{"workers=4 reuse", 4, true, false},
+		{"workers=16 reuse", 16, true, false},
+		{"workers=4 checkpoint", 4, false, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := testCampaign(t)
+			c.Workers = tc.workers
+			c.ReuseTestbeds = tc.reuse
+			if tc.checkpoint {
+				c.CheckpointPath = filepath.Join(t.TempDir(), "ck.json")
+			}
+			res, err := c.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := resultJSON(t, res); !bytes.Equal(got, want) {
+				t.Errorf("streaming aggregate differs from retained reference:\n got %s\nwant %s", got, want)
+			}
+		})
+	}
+}
+
+// TestStreamingResumeMatchesRetained replays an interrupted campaign —
+// half the shards pre-folded from a checkpoint, half run live — against
+// the retained reference.
+func TestStreamingResumeMatchesRetained(t *testing.T) {
+	ref := testCampaign(t).withDefaults()
+	ref.Spec.fill()
+	total := ref.shardCount()
+	var shards []ShardResult
+	for i := 0; i < total; i++ {
+		shards = append(shards, ref.runShard(i))
+	}
+	want := resultJSON(t, ref.aggregateRetained(shards))
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	interrupted := testCampaign(t).withDefaults()
+	interrupted.Spec.fill()
+	ck := newCheckpointer(path, interrupted.identity())
+	if err := ck.save(shards[:total/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := testCampaign(t)
+	resumed.Workers = 3
+	resumed.CheckpointPath = path
+	res, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resultJSON(t, res); !bytes.Equal(got, want) {
+		t.Errorf("resumed streaming aggregate differs from retained reference:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestAggregatorReordersShards feeds shard results to the aggregator in a
+// scrambled completion order and expects the in-order fold.
+func TestAggregatorReordersShards(t *testing.T) {
+	c := testCampaign(t).withDefaults()
+	c.Spec.fill()
+	total := c.shardCount()
+	shards := make([]ShardResult, total)
+	for i := 0; i < total; i++ {
+		shards[i] = c.runShard(i)
+	}
+	want := resultJSON(t, c.aggregateRetained(shards))
+
+	// Worst case: shard 0 lands last, so everything buffers in the window.
+	g := c.newAggregator(nil)
+	for i := total - 1; i >= 0; i-- {
+		g.add(shards[i])
+	}
+	if len(g.window) != 0 {
+		t.Fatalf("reorder window not drained: %d buffered", len(g.window))
+	}
+	if got := resultJSON(t, g.finish()); !bytes.Equal(got, want) {
+		t.Errorf("scrambled-order aggregate differs:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestCampaignExternalAccumulator checks the -serve wiring contract: a
+// caller-supplied accumulator ends up holding the final metrics, readable
+// mid-run, and a stale one is rejected.
+func TestCampaignExternalAccumulator(t *testing.T) {
+	acc := obs.NewAccumulator()
+	c := testCampaign(t)
+	c.Workers = 4
+	c.Accumulator = acc
+	midReads := 0
+	c.OnShard = func(s ShardResult, done, total int) {
+		// A mid-run read must be internally consistent and never ahead of
+		// the shards that have landed.
+		if acc.Adds() > done {
+			t.Errorf("accumulator ahead of completion: %d adds after %d shards", acc.Adds(), done)
+		}
+		midReads++
+		_ = acc.State()
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if midReads == 0 {
+		t.Fatal("OnShard never fired")
+	}
+	if got, want := resultJSON(t, Result{Metrics: acc.State()}), resultJSON(t, Result{Metrics: res.Metrics}); !bytes.Equal(got, want) {
+		t.Error("external accumulator state differs from final Result.Metrics")
+	}
+
+	// The same accumulator is spent now: a second Run must refuse it.
+	reuse := testCampaign(t)
+	reuse.Accumulator = acc
+	if _, err := reuse.Run(); err == nil {
+		t.Fatal("Run accepted a non-fresh accumulator")
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import "sync"
+
+// merger is the incremental form of Merge: fold() applies exactly one
+// left-fold step, so folding snapshots s0..sn one at a time produces the
+// same value — field for field, byte for byte once encoded — as
+// Merge(s0, ..., sn). Merge and Accumulator both run on this type, which
+// is what makes "stream the snapshots in as they land" and "retain them
+// all and merge at the end" provably interchangeable.
+//
+// The scratch slices implement the double-buffer swap from the original
+// Merge loop: each fold builds the new accumulator state in the previous
+// state's backing array, so a long fold sequence reaches a zero-alloc
+// steady state for counters and gauges once the key universe stops
+// growing (histogram combines still allocate their fresh Counts — an
+// accumulator entry may alias an input snapshot's slice, which must never
+// be mutated).
+type merger struct {
+	out      Snapshot
+	scratchC []CounterValue
+	scratchG []GaugeValue
+	scratchH []HistogramValue
+}
+
+// fold merges s into the accumulated state. Registry snapshots are already
+// in canonical tuple order; a hand-assembled unsorted snapshot is sorted
+// into a copy first, same as Merge.
+func (m *merger) fold(s Snapshot) {
+	if !countersSorted(s.Counters) || !gaugesSorted(s.Gauges) || !histogramsSorted(s.Histograms) {
+		s.Counters = append([]CounterValue(nil), s.Counters...)
+		s.Gauges = append([]GaugeValue(nil), s.Gauges...)
+		s.Histograms = append([]HistogramValue(nil), s.Histograms...)
+		s.sort()
+	}
+	m.out.Counters, m.scratchC = mergeCounters(m.scratchC[:0], m.out.Counters, s.Counters), m.out.Counters
+	m.out.Gauges, m.scratchG = mergeGauges(m.scratchG[:0], m.out.Gauges, s.Gauges), m.out.Gauges
+	m.out.Histograms, m.scratchH = mergeHistograms(m.scratchH[:0], m.out.Histograms, s.Histograms), m.out.Histograms
+	m.out.Trace = append(m.out.Trace, s.Trace...)
+	m.out.TraceEvicted += s.TraceEvicted
+	m.out.TraceDiscarded += s.TraceDiscarded
+	m.out.TraceDropped += s.TraceDropped
+}
+
+// Accumulator folds snapshots into a running aggregate without retaining
+// them: Add(s0); ...; Add(sn); State() equals Merge(s0, ..., sn), and each
+// snapshot is released to the garbage collector as soon as its fold
+// completes. It is the streaming replacement for the retain-all-then-Merge
+// pattern, sized for campaigns whose snapshot count is unbounded.
+//
+// Unlike the rest of the package, an Accumulator is mutex-guarded: it sits
+// on the wall-clock side of the sim/wall boundary, where campaign workers
+// fold results in while an observability plane (internal/obs/serve) reads
+// the current state concurrently. State returns an isolated value copy, so
+// a reader's snapshot never changes under it as more folds land.
+//
+// Like Merge, Add panics when a histogram re-appears with different bucket
+// bounds — bounds are part of a metric's identity.
+type Accumulator struct {
+	mu   sync.Mutex
+	m    merger
+	adds int
+}
+
+// NewAccumulator returns an empty accumulator: State() is a zero Snapshot
+// until the first Add.
+func NewAccumulator() *Accumulator { return &Accumulator{} }
+
+// Add folds one snapshot into the aggregate. Fold order is significant for
+// byte-identity (histogram sums are floating-point), so callers that
+// promise deterministic output must Add in a deterministic order.
+func (a *Accumulator) Add(s Snapshot) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.m.fold(s)
+	a.adds++
+}
+
+// Adds reports how many snapshots have been folded in.
+func (a *Accumulator) Adds() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.adds
+}
+
+// State returns the current aggregate as an isolated snapshot value: equal
+// to Merge of everything Added so far, and unaffected by later Adds. Safe
+// to call from any goroutine at any time — this is the read side of the
+// live /metrics endpoint.
+func (a *Accumulator) State() Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := a.m.out
+	// Top-level slices are copied because fold recycles their backing
+	// arrays as scratch; the entries' label slices, histogram bounds and
+	// histogram counts are never mutated in place (combines allocate fresh
+	// Counts), so sharing them keeps State cheap.
+	out.Counters = append([]CounterValue(nil), out.Counters...)
+	out.Gauges = append([]GaugeValue(nil), out.Gauges...)
+	out.Histograms = append([]HistogramValue(nil), out.Histograms...)
+	out.Trace = append([]TraceEvent(nil), out.Trace...)
+	return out
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// accSnap builds a representative snapshot: counters, gauges, histograms
+// (with float sums that make fold order observable), and trace events.
+func accSnap(w int) Snapshot {
+	r := NewRegistry()
+	r.SetTraceCapacity(8)
+	r.Counter("events_total").Add(uint64(10 * (w + 1)))
+	r.Counter("shard_total", L("shard", string(rune('a'+w)))).Add(1)
+	r.Gauge("depth").Set(int64(w + 1))
+	h := r.Histogram("lat", []float64{1, 10})
+	h.Observe(0.1 * float64(w+1))
+	h.Observe(float64(w) + 0.3)
+	r.Trace().Emit(time.Duration(w), "acc", "tick", "", int64(w))
+	return r.Snapshot()
+}
+
+func TestAccumulatorEqualsMerge(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5} {
+		snaps := make([]Snapshot, n)
+		for i := range snaps {
+			snaps[i] = accSnap(i)
+		}
+		acc := NewAccumulator()
+		for _, s := range snaps {
+			acc.Add(s)
+		}
+		if got, want := acc.State(), Merge(snaps...); !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: Accumulator state diverges from Merge:\n got %+v\nwant %+v", n, got, want)
+		}
+		if acc.Adds() != n {
+			t.Fatalf("n=%d: Adds() = %d", n, acc.Adds())
+		}
+	}
+}
+
+// TestMergeMonoid checks the laws the shard/checkpoint/resume splitting
+// relies on: Snapshot{} is the identity and the left-nested fold
+// re-associates exactly — float sums and trace order included.
+func TestMergeMonoid(t *testing.T) {
+	a, b, c := accSnap(0), accSnap(1), accSnap(2)
+
+	if got := Merge(); !reflect.DeepEqual(got, Snapshot{}) {
+		t.Fatalf("Merge() = %+v, want zero Snapshot", got)
+	}
+	if got, want := Merge(Snapshot{}, a), Merge(a); !reflect.DeepEqual(got, want) {
+		t.Fatalf("left identity violated:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := Merge(a, Snapshot{}), Merge(a); !reflect.DeepEqual(got, want) {
+		t.Fatalf("right identity violated:\n got %+v\nwant %+v", got, want)
+	}
+	// Left-nested associativity is exactly a checkpoint resume: the
+	// resumed prefix arrives pre-merged, the remainder folds after it.
+	if got, want := Merge(Merge(a, b), c), Merge(a, b, c); !reflect.DeepEqual(got, want) {
+		t.Fatalf("left-nested associativity violated:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := Merge(Merge(a, b, c)), Merge(a, b, c); !reflect.DeepEqual(got, want) {
+		t.Fatalf("re-folding a merged aggregate changed it:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestAccumulatorMismatchedBoundsPanics(t *testing.T) {
+	a := NewRegistry()
+	a.Histogram("h", []float64{1}).Observe(0.5)
+	b := NewRegistry()
+	b.Histogram("h", []float64{2}).Observe(0.5)
+	acc := NewAccumulator()
+	acc.Add(a.Snapshot())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched bounds")
+		}
+	}()
+	acc.Add(b.Snapshot())
+}
+
+func TestAccumulatorStateIsolated(t *testing.T) {
+	acc := NewAccumulator()
+	acc.Add(accSnap(0))
+	before := acc.State()
+	beforeEvents := before.Counter("events_total")
+	beforeCount := len(before.Counters)
+	acc.Add(accSnap(1))
+	acc.Add(accSnap(2))
+	if got := before.Counter("events_total"); got != beforeEvents {
+		t.Fatalf("earlier State mutated by later Adds: %d != %d", got, beforeEvents)
+	}
+	if len(before.Counters) != beforeCount {
+		t.Fatalf("earlier State grew: %d counters", len(before.Counters))
+	}
+}
+
+// TestAccumulatorConcurrentReads drives the live-plane shape under -race:
+// one writer folding snapshots while readers snapshot the state.
+func TestAccumulatorConcurrentReads(t *testing.T) {
+	acc := NewAccumulator()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s := acc.State()
+				// A reader must always see an internally consistent
+				// aggregate: whole snapshots only.
+				if v := s.Counter("events_total"); v%10 != 0 {
+					t.Errorf("torn read: events_total = %d", v)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		acc.Add(accSnap(i % 8))
+	}
+	close(done)
+	wg.Wait()
+	if acc.Adds() != 200 {
+		t.Fatalf("Adds() = %d", acc.Adds())
+	}
+}

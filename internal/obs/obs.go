@@ -521,15 +521,6 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
-func copyLabels(ls []Label) []Label {
-	if len(ls) == 0 {
-		return nil
-	}
-	out := make([]Label, len(ls))
-	copy(out, ls)
-	return out
-}
-
 func (s *Snapshot) sort() {
 	sort.Slice(s.Counters, func(i, j int) bool {
 		return compareMetric(s.Counters[i].Name, s.Counters[i].Labels, s.Counters[j].Name, s.Counters[j].Labels) < 0
@@ -637,39 +628,27 @@ func (s Snapshot) Families() []string {
 // unsorted snapshot is detected and sorted into a copy first. The result
 // shares label slices (and pass-through histogram bounds/counts) with its
 // inputs — all immutable by the snapshot contract.
+//
+// Merge makes snapshots a monoid: Snapshot{} is the identity
+// (Merge() == Snapshot{}, and folding the empty snapshot in changes
+// nothing), and the fold is associative in its left-nested form —
+// Merge(Merge(a, b), c) equals Merge(a, b, c) exactly, floating-point
+// sums included, because folding an already-merged prefix replays the
+// same additions in the same order. (Full reassociation like
+// Merge(a, Merge(b, c)) regroups float additions and trace order, so
+// deterministic callers always fold left in a fixed order.) The monoid
+// laws are property-tested in accumulate_test.go; they are what lets
+// aggregation split arbitrarily across shards, checkpoints, and resumes.
+//
+// Merge is a left fold over the merger type; Accumulator (accumulate.go)
+// runs the identical fold one snapshot at a time, which is what guarantees
+// streamed and retained aggregation byte-identical results.
 func Merge(snaps ...Snapshot) Snapshot {
-	var out Snapshot
-	var scratchC []CounterValue
-	var scratchG []GaugeValue
-	var scratchH []HistogramValue
+	var m merger
 	for _, s := range snaps {
-		if !countersSorted(s.Counters) {
-			s.Counters = append([]CounterValue(nil), s.Counters...)
-			sort.Slice(s.Counters, func(i, j int) bool {
-				return compareMetric(s.Counters[i].Name, s.Counters[i].Labels, s.Counters[j].Name, s.Counters[j].Labels) < 0
-			})
-		}
-		if !gaugesSorted(s.Gauges) {
-			s.Gauges = append([]GaugeValue(nil), s.Gauges...)
-			sort.Slice(s.Gauges, func(i, j int) bool {
-				return compareMetric(s.Gauges[i].Name, s.Gauges[i].Labels, s.Gauges[j].Name, s.Gauges[j].Labels) < 0
-			})
-		}
-		if !histogramsSorted(s.Histograms) {
-			s.Histograms = append([]HistogramValue(nil), s.Histograms...)
-			sort.Slice(s.Histograms, func(i, j int) bool {
-				return compareMetric(s.Histograms[i].Name, s.Histograms[i].Labels, s.Histograms[j].Name, s.Histograms[j].Labels) < 0
-			})
-		}
-		out.Counters, scratchC = mergeCounters(scratchC[:0], out.Counters, s.Counters), out.Counters
-		out.Gauges, scratchG = mergeGauges(scratchG[:0], out.Gauges, s.Gauges), out.Gauges
-		out.Histograms, scratchH = mergeHistograms(scratchH[:0], out.Histograms, s.Histograms), out.Histograms
-		out.Trace = append(out.Trace, s.Trace...)
-		out.TraceEvicted += s.TraceEvicted
-		out.TraceDiscarded += s.TraceDiscarded
-		out.TraceDropped += s.TraceDropped
+		m.fold(s)
 	}
-	return out
+	return m.out
 }
 
 // mergeCounters joins the accumulator acc with the sorted input b into dst.
