@@ -9,6 +9,14 @@
 //	phantomlab [flags] <table1|table2|table3|verify|findings|defense|recon|ablation|replay|all>
 //	phantomlab fleet [-homes N] [-workers W] [-seed S] [-campaign spec.json]
 //	                 [-checkpoint state.json] [-out results.json] [-serve ADDR]
+//	                 [-metrics F] [-metrics-format X]
+//	phantomlab fleet ...campaign flags... -shard-range A:B -partial part.json
+//	phantomlab fleet -merge [-out results.json] [-metrics F] part1.json part2.json ...
+//
+// A fleet campaign can be split across processes: each worker process runs
+// `-shard-range A:B` over its slice of the shard index space and writes a
+// mergeable partial; `-merge` folds the partials — for any split — into a
+// result byte-identical to a single-process run.
 //
 // Flags:
 //
@@ -33,6 +41,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -139,7 +148,7 @@ func run(args []string) error {
 	// Flag parsing stops at the first positional, so subcommand flags
 	// arrive in fs.Args()[1:].
 	if fs.NArg() >= 1 && fs.Arg(0) == "fleet" {
-		return runFleet(fs.Args()[1:], *serveAddr)
+		return runFleet(fs.Args()[1:], *serveAddr, *metricsOut, *metricsFormat)
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
@@ -300,24 +309,72 @@ func run(args []string) error {
 }
 
 // runFleet executes the fleet subcommand: a sharded attack campaign over a
-// synthetic population of homes. inheritServe carries a -serve given before
-// the subcommand word; fleet's own -serve flag overrides it.
-func runFleet(args []string, inheritServe string) error {
+// synthetic population of homes — whole, one shard range of it, or a merge
+// of completed range partials. inheritServe/inheritMetrics carry -serve,
+// -metrics and -metrics-format given before the subcommand word; fleet's
+// own flags override them.
+func runFleet(args []string, inheritServe, inheritMetrics, inheritMetricsFormat string) error {
 	fs := flag.NewFlagSet("phantomlab fleet", flag.ContinueOnError)
 	homes := fs.Int("homes", 100, "population size")
 	workers := fs.Int("workers", 1, "worker-pool size (wall-clock only; results are identical for any value)")
 	seed := fs.Int64("seed", 1, "population master seed")
 	campaignPath := fs.String("campaign", "", "campaign spec JSON file (default: built-in edelay-sensors campaign)")
-	checkpointPath := fs.String("checkpoint", "", "persist completed shards to this JSON file and resume from it")
+	checkpointPath := fs.String("checkpoint", "", "persist the campaign's compacted partial aggregate to this JSON file and resume from it")
 	outPath := fs.String("out", "", "write aggregated results JSON to this file (default stdout)")
 	shardSize := fs.Int("shard-size", fleet.DefaultShardSize, "homes per checkpoint shard")
 	reuse := fs.Bool("reuse", false, "recycle one testbed arena per worker (allocation only; results are identical either way)")
 	serveAddr := fs.String("serve", inheritServe, "serve the live observability plane on this address (e.g. :9090) while the campaign runs")
+	metricsOut := fs.String("metrics", inheritMetrics, "write the campaign's merged metrics snapshot to this file")
+	metricsFormat := fs.String("metrics-format", inheritMetricsFormat, "metrics encoding: json or openmetrics")
+	shardRange := fs.String("shard-range", "", "run only shards [A,B) of the campaign and write a mergeable partial (requires -partial)")
+	partialPath := fs.String("partial", "", "write the completed shard range's partial to this file (with -shard-range)")
+	merge := fs.Bool("merge", false, "merge partial files (the positional arguments) into the final result instead of running")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	switch *metricsFormat {
+	case "json", "openmetrics":
+	default:
+		return fmt.Errorf("-metrics-format: unknown format %q (supported: json, openmetrics)", *metricsFormat)
+	}
+
+	if *merge {
+		var clash []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "homes", "workers", "seed", "campaign", "checkpoint", "shard-size", "reuse", "shard-range", "partial":
+				clash = append(clash, "-"+f.Name)
+			}
+		})
+		if len(clash) > 0 {
+			return fmt.Errorf("fleet -merge reconstructs the campaign from the partial files themselves; drop %s", strings.Join(clash, ", "))
+		}
+		if fs.NArg() == 0 {
+			return fmt.Errorf("fleet -merge needs the partial files to merge as arguments")
+		}
+		return mergeFleet(fs.Args(), *outPath, *metricsOut, *metricsFormat)
+	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("fleet takes no positional arguments, got %q", fs.Args())
+	}
+
+	rangeFirst, rangeLast := 0, 0
+	if *shardRange != "" {
+		var err error
+		if rangeFirst, rangeLast, err = parseShardRange(*shardRange); err != nil {
+			return err
+		}
+		if *partialPath == "" {
+			return fmt.Errorf("-shard-range needs -partial FILE for the range's mergeable output")
+		}
+		if *outPath != "" {
+			return fmt.Errorf("-out does not apply to a shard range: a range worker emits a partial (-partial), and `fleet -merge` emits the result")
+		}
+		if *metricsOut != "" {
+			return fmt.Errorf("-metrics does not apply to a shard range: the partial carries the exact metric state, and `fleet -merge` emits the merged snapshot")
+		}
+	} else if *partialPath != "" {
+		return fmt.Errorf("-partial only applies with -shard-range")
 	}
 
 	spec := fleet.DefaultSpec()
@@ -337,7 +394,11 @@ func runFleet(args []string, inheritServe string) error {
 	// collector writes, and neither can perturb the aggregate — results
 	// stay byte-identical with -serve on or off.
 	acc := obs.NewAccumulator()
-	tracker := fleet.NewProgressTracker(time.Now(), *homes)
+	trackHomes := *homes
+	if *shardRange != "" {
+		trackHomes = rangeHomes(rangeFirst, rangeLast, *shardSize, *homes)
+	}
+	tracker := fleet.NewProgressTracker(time.Now(), trackHomes)
 	c := fleet.Campaign{
 		Spec:           spec,
 		Homes:          *homes,
@@ -349,6 +410,10 @@ func runFleet(args []string, inheritServe string) error {
 		Accumulator:    acc,
 		OnShard: func(s fleet.ShardResult, done, total int) {
 			tracker.OnShard(s, done, total)
+			fmt.Fprintln(os.Stderr, tracker.LineAt(time.Now()))
+		},
+		OnResume: func(p fleet.Partial, done, total int) {
+			tracker.OnResume(p, done, total)
 			fmt.Fprintln(os.Stderr, tracker.LineAt(time.Now()))
 		},
 	}
@@ -373,14 +438,80 @@ func runFleet(args []string, inheritServe string) error {
 		fmt.Fprintf(os.Stderr, "phantomlab: serving observability plane on http://%s\n", srv.Addr())
 	}
 
+	if *shardRange != "" {
+		p, err := c.RunRange(rangeFirst, rangeLast)
+		if err != nil {
+			return err
+		}
+		return c.SavePartial(*partialPath, p)
+	}
+
 	res, err := c.Run()
 	if err != nil {
 		return err
 	}
+	if err := writeResult(*outPath, res); err != nil {
+		return err
+	}
+	return writeMetrics(*metricsOut, *metricsFormat, "fleet", acc)
+}
 
+// mergeFleet folds completed -shard-range partials into the final campaign
+// result. The campaign identity travels inside every partial file, so the
+// merge needs no flags beyond where to write.
+func mergeFleet(paths []string, outPath, metricsOut, metricsFormat string) error {
+	c, parts, err := fleet.LoadPartials(paths)
+	if err != nil {
+		return err
+	}
+	acc := obs.NewAccumulator()
+	c.Accumulator = acc
+	res, err := c.MergePartials(parts)
+	if err != nil {
+		return err
+	}
+	if err := writeResult(outPath, res); err != nil {
+		return err
+	}
+	return writeMetrics(metricsOut, metricsFormat, "fleet", acc)
+}
+
+// parseShardRange parses the -shard-range A:B flag value.
+func parseShardRange(s string) (first, last int, err error) {
+	a, b, ok := strings.Cut(s, ":")
+	if ok {
+		if first, err = strconv.Atoi(a); err == nil {
+			last, err = strconv.Atoi(b)
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("-shard-range: want FIRST:LAST shard indexes (half-open), got %q", s)
+	}
+	return first, last, nil
+}
+
+// rangeHomes counts the homes shards [first, last) cover, for progress
+// totals. Bad ranges come out ≤ 0 here and are rejected by RunRange.
+func rangeHomes(first, last, shardSize, homes int) int {
+	if shardSize <= 0 {
+		shardSize = fleet.DefaultShardSize
+	}
+	hi := last * shardSize
+	if hi > homes {
+		hi = homes
+	}
+	n := hi - first*shardSize
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// writeResult writes the aggregated campaign result to path, or stdout.
+func writeResult(path string, res fleet.Result) error {
 	var w io.Writer = os.Stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
+	if path != "" {
+		f, err := os.Create(path)
 		if err != nil {
 			return fmt.Errorf("fleet output: %w", err)
 		}

@@ -311,6 +311,107 @@ func TestRunFleetReplayCampaign(t *testing.T) {
 	}
 }
 
+// TestRunFleetMultiProcessMerge drives the whole multi-process flow
+// through the CLI: three -shard-range invocations (distinct worker
+// counts, as three separate processes would have) write partials, -merge
+// folds them, and both the result and the -metrics snapshot are
+// byte-identical to one single-process run.
+func TestRunFleetMultiProcessMerge(t *testing.T) {
+	dir := t.TempDir()
+	campaign := []string{"-homes", "40", "-shard-size", "4", "-seed", "13"}
+
+	single := filepath.Join(dir, "single.json")
+	singleMetrics := filepath.Join(dir, "single-metrics.json")
+	args := append([]string{"fleet"}, campaign...)
+	if err := run(append(args, "-out", single, "-metrics", singleMetrics)); err != nil {
+		t.Fatal(err)
+	}
+
+	var parts []string
+	for i, r := range []string{"0:4", "4:7", "7:10"} {
+		p := filepath.Join(dir, "part"+r[0:1]+".json")
+		workerArgs := append([]string{"fleet", "-workers", []string{"1", "2", "3"}[i]}, campaign...)
+		if err := run(append(workerArgs, "-shard-range", r, "-partial", p)); err != nil {
+			t.Fatalf("range %s: %v", r, err)
+		}
+		parts = append(parts, p)
+	}
+
+	merged := filepath.Join(dir, "merged.json")
+	mergedMetrics := filepath.Join(dir, "merged-metrics.json")
+	mergeArgs := append([]string{"fleet", "-merge", "-out", merged, "-metrics", mergedMetrics}, parts...)
+	if err := run(mergeArgs); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, pair := range [][2]string{{single, merged}, {singleMetrics, mergedMetrics}} {
+		a, err := os.ReadFile(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s and %s differ — multi-process merge is not byte-identical", pair[0], pair[1])
+		}
+	}
+}
+
+// TestRunFleetShardRangeResume: a range worker's -checkpoint resumes mid-
+// range and still writes the identical partial file.
+func TestRunFleetShardRangeResume(t *testing.T) {
+	dir := t.TempDir()
+	campaign := []string{"-homes", "24", "-shard-size", "4", "-seed", "7"}
+	clean := filepath.Join(dir, "clean.json")
+	args := append([]string{"fleet"}, campaign...)
+	if err := run(append(args, "-shard-range", "2:5", "-partial", clean)); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpointed worker: first run writes its final checkpoint; a rerun
+	// resumes from it (everything cached) and must emit the same partial.
+	ck := filepath.Join(dir, "ck.json")
+	resumed := filepath.Join(dir, "resumed.json")
+	for i := 0; i < 2; i++ {
+		if err := run(append(args, "-shard-range", "2:5", "-partial", resumed, "-checkpoint", ck)); err != nil {
+			t.Fatalf("pass %d: %v", i, err)
+		}
+	}
+	a, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("checkpoint-resumed range partial differs from a clean worker's")
+	}
+}
+
+func TestRunFleetRejectsBadRangeUsage(t *testing.T) {
+	dir := t.TempDir()
+	part := filepath.Join(dir, "p.json")
+	for name, args := range map[string][]string{
+		"range without -partial":  {"fleet", "-shard-range", "0:2"},
+		"partial without range":   {"fleet", "-partial", part},
+		"malformed range":         {"fleet", "-shard-range", "2", "-partial", part},
+		"non-numeric range":       {"fleet", "-shard-range", "a:b", "-partial", part},
+		"range with -out":         {"fleet", "-shard-range", "0:2", "-partial", part, "-out", filepath.Join(dir, "o.json")},
+		"range with -metrics":     {"fleet", "-shard-range", "0:2", "-partial", part, "-metrics", filepath.Join(dir, "m.json")},
+		"out-of-campaign range":   {"fleet", "-homes", "8", "-shard-size", "4", "-shard-range", "0:5", "-partial", part},
+		"merge without files":     {"fleet", "-merge"},
+		"merge with campaign":     {"fleet", "-merge", "-homes", "8", part},
+		"merge with missing file": {"fleet", "-merge", filepath.Join(dir, "nope.json")},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
 func TestRunFleetRejectsBadSpec(t *testing.T) {
 	dir := t.TempDir()
 	specPath := filepath.Join(dir, "spec.json")

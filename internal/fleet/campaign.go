@@ -28,8 +28,10 @@ type Campaign struct {
 	ShardSize int
 	// Seed is the population master seed.
 	Seed int64
-	// CheckpointPath, when non-empty, persists completed shards as JSON so
-	// an interrupted campaign resumes instead of restarting.
+	// CheckpointPath, when non-empty, persists the campaign's compacted
+	// partial aggregate as JSON after every completed shard, so an
+	// interrupted campaign resumes instead of restarting. The file stays
+	// O(aggregate + reorder window) no matter how many shards are done.
 	CheckpointPath string
 	// Template drives device-mix sampling; zero value selects the default.
 	Template device.PopulationTemplate
@@ -40,14 +42,23 @@ type Campaign struct {
 	// prove it), so the flag changes neither results nor campaign identity —
 	// checkpoints written with it off resume with it on and vice versa.
 	ReuseTestbeds bool
-	// Progress, when set, is called after every completed shard with the
-	// number of completed shards (including resumed ones) and the total.
+	// Progress, when set, observes completion: once before live work
+	// starts (reporting the checkpoint-resumed shard count, zero on a
+	// fresh start) and then after every live completed shard, with the
+	// number of completed shards and the total for this run's range.
 	Progress func(done, total int)
-	// OnShard, when set, receives every shard result as it lands: resumed
-	// shards in index order before any work starts, then live shards in
-	// completion order. All calls happen on the collector goroutine, and
-	// the callback observes results only — it cannot alter aggregation.
+	// OnShard, when set, receives every live shard result as it lands, in
+	// completion order. Resumed state is not replayed shard-by-shard —
+	// compacted checkpoints no longer retain folded shards — it arrives
+	// once through OnResume instead. All calls happen on the collector
+	// goroutine, and the callback observes results only — it cannot alter
+	// aggregation.
 	OnShard func(s ShardResult, done, total int)
+	// OnResume, when set, is called once when a checkpoint seeds the run:
+	// p is the resumed partial aggregate (folded prefix plus any retained
+	// out-of-order window shards), done counts its completed shards and
+	// total the shards of this run's range. Not called on a fresh start.
+	OnResume func(p Partial, done, total int)
 	// Accumulator, when set, is the streaming sink for shard metrics: the
 	// collector folds each shard's snapshot into it in shard-index order as
 	// results land, and the final Result.Metrics is its end state. External
@@ -90,116 +101,191 @@ func (c Campaign) shardCount() int {
 	return (c.Homes + c.ShardSize - 1) / c.ShardSize
 }
 
-// Run executes the campaign: shards not present in the checkpoint are
-// distributed over the worker pool, each worker building one home's
+// validateRun checks the knobs shared by Run, RunRange and MergePartials.
+// The receiver is already withDefaults()'d and spec-filled.
+func (c Campaign) validateRun() error {
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	if c.Homes <= 0 {
+		return fmt.Errorf("fleet: campaign needs a positive number of homes, got %d", c.Homes)
+	}
+	if c.Accumulator != nil && c.Accumulator.Adds() != 0 {
+		return fmt.Errorf("fleet: campaign accumulator already holds %d snapshots; the run needs a fresh one", c.Accumulator.Adds())
+	}
+	return nil
+}
+
+// Run executes the campaign: shards not already folded into the checkpoint
+// are distributed over the worker pool, each worker building one home's
 // testbed at a time (memory stays bounded by Workers, not Homes), and the
 // shard results stream through an aggregator — folded in shard-index order
 // as they land, then released — into a worker-count-independent Result.
-// Only an active checkpoint retains shard results beyond their fold (the
-// checkpoint file stores every completed shard); without one, steady-state
-// memory is the aggregate plus a reorder window of roughly Workers shards.
+// A checkpoint resumes by absorbing the persisted partial aggregate, so
+// steady-state memory — and the checkpoint file itself — is the aggregate
+// plus a reorder window of roughly Workers shards, never the shard set.
 func (c Campaign) Run() (Result, error) {
 	c = c.withDefaults()
 	c.Spec.fill()
-	if err := c.Spec.Validate(); err != nil {
+	if err := c.validateRun(); err != nil {
 		return Result{}, err
 	}
-	if c.Homes <= 0 {
-		return Result{}, fmt.Errorf("fleet: campaign needs a positive number of homes, got %d", c.Homes)
-	}
-	if c.Accumulator != nil && c.Accumulator.Adds() != 0 {
-		return Result{}, fmt.Errorf("fleet: campaign accumulator already holds %d snapshots; Run needs a fresh one", c.Accumulator.Adds())
-	}
-
 	total := c.shardCount()
-	agg := c.newAggregator(c.Accumulator)
-	doneCount := 0
+	agg, err := c.runShards(0, total, total)
+	if err != nil {
+		return Result{}, err
+	}
+	return agg.finish(), nil
+}
 
+// RunRange executes only shards [first, last) of the campaign and returns
+// the completed range's Partial — one worker process's share of a
+// multi-process fleet. Partials from ranges tiling the whole campaign
+// merge (MergePartials, `phantomlab fleet -merge`) into a Result
+// byte-identical to a single-process Run. CheckpointPath works per range:
+// an interrupted range worker resumes its own shards, and its checkpoint
+// records Start so a mismatched -shard-range is rejected rather than
+// silently misattributed.
+func (c Campaign) RunRange(first, last int) (Partial, error) {
+	c = c.withDefaults()
+	c.Spec.fill()
+	if err := c.validateRun(); err != nil {
+		return Partial{}, err
+	}
+	total := c.shardCount()
+	if first < 0 || last <= first || last > total {
+		return Partial{}, fmt.Errorf("fleet: shard range [%d,%d) outside the campaign's %d shards", first, last, total)
+	}
+	agg, err := c.runShards(first, last, total)
+	if err != nil {
+		return Partial{}, err
+	}
+	return agg.partial(), nil
+}
+
+// runShards is the engine shared by Run and RunRange: seed an aggregator
+// for [first, last) — from the checkpoint when one exists — then fill the
+// pending shards through the worker pool. Progress/OnShard/OnResume done
+// and total counts are relative to the range.
+func (c Campaign) runShards(first, last, total int) (*aggregator, error) {
+	agg := c.newAggregator(c.Accumulator, first)
+	units := last - first
+	done := 0
 	var ck *checkpointer
-	// completed mirrors every finished shard for checkpoint saves — the
-	// one remaining retain-everything structure, inherent to the current
-	// checkpoint format, so it exists only when checkpointing is on.
-	var completed map[int]ShardResult
 	if c.CheckpointPath != "" {
 		ck = newCheckpointer(c.CheckpointPath, c.identity())
-		resumed, err := ck.load()
+		p, found, err := ck.load(total)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
-		completed = make(map[int]ShardResult, total)
-		for _, s := range resumed {
-			if s.Index >= 0 && s.Index < total {
-				completed[s.Index] = s
+		if found {
+			if p.Start != first {
+				return nil, fmt.Errorf("fleet: checkpoint %s covers shards starting at %d but this run starts at %d; resume with the original shard range or use a fresh checkpoint path", c.CheckpointPath, p.Start, first)
+			}
+			if p.Watermark > last {
+				return nil, fmt.Errorf("fleet: checkpoint %s is folded through shard %d, beyond this run's range end %d", c.CheckpointPath, p.Watermark, last)
+			}
+			if n := len(p.Window); n > 0 && p.Window[n-1].Index >= last {
+				return nil, fmt.Errorf("fleet: checkpoint %s retains shard %d, beyond this run's range end %d", c.CheckpointPath, p.Window[n-1].Index, last)
+			}
+			if err := agg.restore(p); err != nil {
+				return nil, err
+			}
+			done = p.Shards()
+			if c.OnResume != nil {
+				c.OnResume(p, done, units)
 			}
 		}
 	}
-	report := func() {
-		if c.Progress != nil {
-			c.Progress(doneCount, total)
-		}
+	if c.Progress != nil {
+		c.Progress(done, units)
 	}
-	for _, s := range sortedShards(completed) {
-		doneCount++
-		agg.add(s)
-		if c.OnShard != nil {
-			c.OnShard(s, doneCount, total)
-		}
-	}
-	report()
-
 	var pending []int
-	for i := 0; i < total; i++ {
-		if _, ok := completed[i]; !ok {
+	for i := agg.next; i < last; i++ {
+		if _, ok := agg.window[i]; !ok {
 			pending = append(pending, i)
 		}
 	}
+	if err := c.collect(agg, ck, pending, done, units); err != nil {
+		return nil, err
+	}
+	if agg.next != last || len(agg.window) != 0 {
+		return nil, fmt.Errorf("fleet: internal: aggregation stalled at shard %d with %d windowed shards", agg.next, len(agg.window))
+	}
+	return agg, nil
+}
 
-	if len(pending) > 0 {
-		jobs := make(chan int)
-		results := make(chan ShardResult)
-		var wg sync.WaitGroup
-		workers := c.Workers
-		if workers > len(pending) {
-			workers = len(pending)
-		}
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for idx := range jobs {
-					results <- c.runShard(idx)
-				}
-			}()
-		}
+// collect distributes pending shards over the worker pool and folds
+// results as they land. On a checkpoint-save failure it cancels the feeder
+// and workers and drains the pool before returning, so no goroutine
+// outlives the call — the previous collector returned immediately on that
+// path, leaking every worker blocked on the unbuffered results channel
+// plus the feeder.
+func (c Campaign) collect(agg *aggregator, ck *checkpointer, pending []int, done, total int) error {
+	if len(pending) == 0 {
+		return nil
+	}
+	jobs := make(chan int)
+	results := make(chan ShardResult)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	workers := c.Workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
 		go func() {
-			for _, idx := range pending {
-				jobs <- idx
-			}
-			close(jobs)
-			wg.Wait()
-			close(results)
-		}()
-		// Single collector: completion order varies with the worker pool,
-		// but nothing order-sensitive happens here — the aggregator's
-		// reorder window restores index order before folding, and
-		// checkpoints store shards sorted by index.
-		for s := range results {
-			doneCount++
-			agg.add(s)
-			if ck != nil {
-				completed[s.Index] = s
-				if err := ck.save(sortedShards(completed)); err != nil {
-					return Result{}, err
+			defer wg.Done()
+			for idx := range jobs {
+				select {
+				case results <- c.runShard(idx):
+				case <-stop:
+					return
 				}
 			}
-			if c.OnShard != nil {
-				c.OnShard(s, doneCount, total)
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for _, idx := range pending {
+			select {
+			case jobs <- idx:
+			case <-stop:
+				return
 			}
-			report()
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	var runErr error
+	// Single collector: completion order varies with the worker pool, but
+	// nothing order-sensitive happens here — the aggregator's reorder
+	// window restores index order before folding, and each checkpoint save
+	// persists the folded prefix plus that window.
+	for s := range results {
+		if runErr != nil {
+			continue // cancelled: drain until the pool shuts down
+		}
+		done++
+		agg.add(s)
+		if ck != nil {
+			if err := ck.save(agg.partial()); err != nil {
+				runErr = err
+				close(stop)
+				continue
+			}
+		}
+		if c.OnShard != nil {
+			c.OnShard(s, done, total)
+		}
+		if c.Progress != nil {
+			c.Progress(done, total)
 		}
 	}
-
-	return agg.finish(), nil
+	return runErr
 }
 
 // runShard generates and runs the shard's homes sequentially. Everything

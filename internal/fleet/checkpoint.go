@@ -12,7 +12,10 @@ import (
 )
 
 // checkpointVersion guards the on-disk shape; bump on incompatible change.
-const checkpointVersion = 1
+// v1 retained every completed ShardResult (each save rewrote them all —
+// O(shards²) I/O across a campaign); v2 persists a compacted mergeable
+// Partial whose size is bounded by the reorder window.
+const checkpointVersion = 2
 
 // identity is the part of a campaign that must match for a checkpoint to
 // be resumable: same spec, population and sharding → same shard results.
@@ -53,15 +56,34 @@ func (id identity) fingerprint() string {
 }
 
 // checkpointFile is the on-disk resume state: the campaign fingerprint
-// plus every completed shard, sorted by index.
+// plus the compacted partial aggregate. The same shape serves as a
+// -shard-range worker's partial output file, so a completed campaign's
+// checkpoint is directly mergeable.
 type checkpointFile struct {
-	Version     int           `json:"version"`
-	Fingerprint string        `json:"fingerprint"`
-	Identity    identity      `json:"identity"`
-	Shards      []ShardResult `json:"shards"`
+	Version     int      `json:"version"`
+	Fingerprint string   `json:"fingerprint"`
+	Identity    identity `json:"identity"`
+	Partial     Partial  `json:"partial"`
 }
 
-// checkpointer persists completed shards for one campaign.
+// decodeCheckpoint parses and version-checks checkpoint/partial bytes.
+// Structural validation of the partial needs the campaign's shard count
+// and stays with the callers.
+func decodeCheckpoint(data []byte, path string) (checkpointFile, error) {
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return checkpointFile{}, fmt.Errorf("fleet: checkpoint %s is corrupt: %w", path, err)
+	}
+	if f.Version == 1 {
+		return checkpointFile{}, fmt.Errorf("fleet: checkpoint %s uses the v1 retain-every-shard format; this build reads compacted v2 partials only — finish the campaign with the build that wrote it, or delete the file to restart", path)
+	}
+	if f.Version != checkpointVersion {
+		return checkpointFile{}, fmt.Errorf("fleet: checkpoint %s has version %d, want %d", path, f.Version, checkpointVersion)
+	}
+	return f, nil
+}
+
+// checkpointer persists one campaign's resumable partial aggregate.
 type checkpointer struct {
 	path string
 	id   identity
@@ -73,38 +95,42 @@ func newCheckpointer(path string, id identity) *checkpointer {
 }
 
 // load reads the checkpoint, if any. A missing file is a fresh start; a
-// file from a different campaign (or a corrupt one) is an error so a stale
-// path never silently poisons the results.
-func (c *checkpointer) load() ([]ShardResult, error) {
+// file from a different campaign, a corrupt one, or one whose partial
+// violates the watermark/window invariants is an error so a stale or
+// hand-edited path never silently poisons the results. total is the
+// campaign's shard count, bounding the structural validation.
+func (c *checkpointer) load(total int) (Partial, bool, error) {
 	data, err := os.ReadFile(c.path)
 	if errors.Is(err, fs.ErrNotExist) {
-		return nil, nil
+		return Partial{}, false, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("fleet: read checkpoint: %w", err)
+		return Partial{}, false, fmt.Errorf("fleet: read checkpoint: %w", err)
 	}
-	var f checkpointFile
-	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("fleet: checkpoint %s is corrupt: %w", c.path, err)
-	}
-	if f.Version != checkpointVersion {
-		return nil, fmt.Errorf("fleet: checkpoint %s has version %d, want %d", c.path, f.Version, checkpointVersion)
+	f, err := decodeCheckpoint(data, c.path)
+	if err != nil {
+		return Partial{}, false, err
 	}
 	if f.Fingerprint != c.fp {
-		return nil, fmt.Errorf("fleet: checkpoint %s belongs to a different campaign (spec/homes/seed/shard-size changed); delete it or pick another path", c.path)
+		return Partial{}, false, fmt.Errorf("fleet: checkpoint %s belongs to a different campaign (spec/homes/seed/shard-size changed); delete it or pick another path", c.path)
 	}
-	return f.Shards, nil
+	if err := f.Partial.validate(total); err != nil {
+		return Partial{}, false, fmt.Errorf("fleet: checkpoint %s: %w", c.path, err)
+	}
+	return f.Partial, true, nil
 }
 
-// save atomically replaces the checkpoint with the given shards (already
-// sorted by index). Write-then-rename keeps a crash mid-save from ever
-// leaving a truncated checkpoint behind.
-func (c *checkpointer) save(shards []ShardResult) error {
+// save atomically replaces the checkpoint with the partial. Cost is
+// O(aggregate + reorder window) and independent of how many shards have
+// completed — the v1 format re-encoded every done shard on every save,
+// O(shards²) over a campaign. Write-then-rename keeps a crash mid-save
+// from ever leaving a truncated checkpoint behind.
+func (c *checkpointer) save(p Partial) error {
 	f := checkpointFile{
 		Version:     checkpointVersion,
 		Fingerprint: c.fp,
 		Identity:    c.id,
-		Shards:      shards,
+		Partial:     p,
 	}
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {

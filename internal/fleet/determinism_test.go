@@ -74,19 +74,19 @@ func TestResumeEqualsUninterrupted(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Interrupted twin: checkpoint holding shards 0..2 of 6, as if the
-	// process died mid-campaign.
+	// Interrupted twin: checkpoint holding the partial aggregate of shards
+	// 0..2 of 6, as if the process died mid-campaign.
 	interrupted := testCampaign(t)
 	interrupted.Workers = 3
 	interrupted.CheckpointPath = filepath.Join(t.TempDir(), "ck.json")
 	interrupted = interrupted.withDefaults()
 	interrupted.Spec.fill()
-	partial := make(map[int]ShardResult)
+	g := interrupted.newAggregator(nil, 0)
 	for idx := 0; idx < interrupted.shardCount()/2; idx++ {
-		partial[idx] = interrupted.runShard(idx)
+		g.add(interrupted.runShard(idx))
 	}
 	ck := newCheckpointer(interrupted.CheckpointPath, interrupted.identity())
-	if err := ck.save(sortedShards(partial)); err != nil {
+	if err := ck.save(g.partial()); err != nil {
 		t.Fatal(err)
 	}
 

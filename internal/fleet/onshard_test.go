@@ -49,48 +49,88 @@ func TestOnShardObservesEveryShard(t *testing.T) {
 	}
 }
 
-// TestOnShardReplaysResumedShards: on resume, previously checkpointed
-// shards are delivered in index order before live work, so a progress
-// consumer's running totals start from the resumed state.
-func TestOnShardReplaysResumedShards(t *testing.T) {
+// TestOnResumeDeliversCheckpointedState: on resume, the checkpoint's
+// partial aggregate arrives once through OnResume before any live work,
+// OnShard then fires only for live shards with done counts continuing
+// from the resumed total, and the final result matches an uninterrupted
+// run. The checkpoint covers the BACK half of the shards (all parked in
+// the reorder window, watermark still zero) so the live/resumed
+// accounting below cannot pass by accident.
+func TestOnResumeDeliversCheckpointedState(t *testing.T) {
+	plain := testCampaign(t)
+	plainRes, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	c := testCampaign(t)
 	c.CheckpointPath = filepath.Join(t.TempDir(), "ck.json")
 	c = c.withDefaults()
 	c.Spec.fill()
-	resumedCount := c.shardCount() / 2
-	partial := make(map[int]ShardResult)
-	// Checkpoint the back half so the replay-order assertion below cannot
-	// pass by accident.
-	for idx := c.shardCount() - resumedCount; idx < c.shardCount(); idx++ {
-		partial[idx] = c.runShard(idx)
+	total := c.shardCount()
+	resumedCount := total / 2
+	g := c.newAggregator(nil, 0)
+	for idx := total - resumedCount; idx < total; idx++ {
+		g.add(c.runShard(idx))
 	}
 	ck := newCheckpointer(c.CheckpointPath, c.identity())
-	if err := ck.save(sortedShards(partial)); err != nil {
+	if err := ck.save(g.partial()); err != nil {
 		t.Fatal(err)
 	}
 
+	resumes := 0
 	var order []int
+	lastDone := 0
+	c.OnResume = func(p Partial, done, total int) {
+		resumes++
+		if len(order) != 0 {
+			t.Error("OnResume fired after live OnShard deliveries")
+		}
+		if p.Watermark != 0 || len(p.Window) != resumedCount {
+			t.Errorf("resumed partial watermark/window = %d/%d, want 0/%d", p.Watermark, len(p.Window), resumedCount)
+		}
+		if done != resumedCount || total != c.shardCount() {
+			t.Errorf("OnResume done/total = %d/%d, want %d/%d", done, total, resumedCount, c.shardCount())
+		}
+		if p.Shards() != done {
+			t.Errorf("partial accounts for %d shards, done says %d", p.Shards(), done)
+		}
+		lastDone = done
+	}
 	c.OnShard = func(s ShardResult, done, total int) {
 		order = append(order, s.Index)
+		if done != lastDone+1 {
+			t.Errorf("live done count %d after %d", done, lastDone)
+		}
+		lastDone = done
 	}
-	if _, err := c.Run(); err != nil {
+	res, err := c.Run()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if len(order) != c.shardCount() {
-		t.Fatalf("callback saw %d shards, want %d", len(order), c.shardCount())
+	if resumes != 1 {
+		t.Fatalf("OnResume fired %d times, want 1", resumes)
 	}
-	for i := 1; i < resumedCount; i++ {
-		if order[i] < order[i-1] {
-			t.Fatalf("resumed shards not replayed in index order: %v", order[:resumedCount])
+	if len(order) != total-resumedCount {
+		t.Fatalf("OnShard saw %d live shards, want %d", len(order), total-resumedCount)
+	}
+	for _, idx := range order {
+		if idx >= total-resumedCount {
+			t.Fatalf("OnShard delivered checkpointed shard %d as live work: %v", idx, order)
 		}
 	}
-	replayed := make(map[int]bool)
-	for _, idx := range order[:resumedCount] {
-		replayed[idx] = true
+	if !bytes.Equal(resultJSON(t, res), resultJSON(t, plainRes)) {
+		t.Error("window-resumed result differs from uninterrupted run")
 	}
-	for idx := range partial {
-		if !replayed[idx] {
-			t.Fatalf("checkpointed shard %d not replayed first: %v", idx, order)
-		}
+}
+
+// TestOnResumeNotCalledFresh: without a checkpoint (or with an empty
+// file-less path) OnResume stays silent.
+func TestOnResumeNotCalledFresh(t *testing.T) {
+	c := testCampaign(t)
+	c.CheckpointPath = filepath.Join(t.TempDir(), "ck.json")
+	c.OnResume = func(Partial, int, int) { t.Error("OnResume fired on a fresh start") }
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -27,10 +27,16 @@ type ProgressReport struct {
 	HomesDone   int     `json:"homesDone"`
 	HomesTotal  int     `json:"homesTotal"`
 	ElapsedSecs float64 `json:"elapsedSecs"`
-	// HomesPerSec is 0 until any wall-clock time has elapsed.
+	// HomesResumed counts homes restored from a checkpoint rather than run
+	// in this process. They are part of HomesDone but excluded from the
+	// rate: a 90%-resumed campaign reports the throughput of the homes it
+	// is actually running, not a fantasy extrapolated from free work.
+	HomesResumed int `json:"homesResumed,omitempty"`
+	// HomesPerSec is the live-home rate — (HomesDone-HomesResumed) per
+	// elapsed second — and 0 until any wall-clock time has elapsed.
 	HomesPerSec float64 `json:"homesPerSec"`
-	// ETASecs estimates remaining wall-clock seconds from the current
-	// rate; 0 while the rate is unknown or once the campaign is done.
+	// ETASecs estimates remaining wall-clock seconds from the live rate;
+	// 0 while the rate is unknown or once the campaign is done.
 	ETASecs float64 `json:"etaSecs"`
 	// PerModel is sorted by model label.
 	PerModel []ModelProgress `json:"perModel"`
@@ -46,15 +52,16 @@ type ProgressReport struct {
 // so the state is mutex-guarded. The tracker observes results only — it
 // cannot perturb aggregation.
 type ProgressTracker struct {
-	mu          sync.Mutex
-	start       time.Time
-	homesTotal  int
-	shardsDone  int
-	shardsTotal int
-	homesDone   int
-	models      []string // sorted model labels
-	trials      map[string]int
-	successes   map[string]int
+	mu           sync.Mutex
+	start        time.Time
+	homesTotal   int
+	shardsDone   int
+	shardsTotal  int
+	homesDone    int
+	homesResumed int
+	models       []string // sorted model labels
+	trials       map[string]int
+	successes    map[string]int
 }
 
 // NewProgressTracker creates a tracker for a campaign over homesTotal
@@ -68,7 +75,7 @@ func NewProgressTracker(start time.Time, homesTotal int) *ProgressTracker {
 	}
 }
 
-// OnShard folds one shard result. Its signature matches
+// OnShard folds one live shard result. Its signature matches
 // Campaign.OnShard, so it can be wired directly or wrapped.
 func (p *ProgressTracker) OnShard(s ShardResult, done, total int) {
 	p.mu.Lock()
@@ -77,15 +84,41 @@ func (p *ProgressTracker) OnShard(s ShardResult, done, total int) {
 	p.shardsTotal = total
 	p.homesDone += s.Homes
 	for _, t := range s.Tallies {
-		if _, ok := p.trials[t.Model]; !ok {
-			i := sort.SearchStrings(p.models, t.Model)
-			p.models = append(p.models, "")
-			copy(p.models[i+1:], p.models[i:])
-			p.models[i] = t.Model
-		}
-		p.trials[t.Model] += t.Trials
-		p.successes[t.Model] += t.Successes
+		p.noteTally(t)
 	}
+}
+
+// OnResume folds a checkpoint's resumed partial aggregate. Its signature
+// matches Campaign.OnResume. Resumed homes count toward completion but
+// not toward the throughput rate — they cost this process nothing.
+func (p *ProgressTracker) OnResume(pt Partial, done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.shardsDone = done
+	p.shardsTotal = total
+	homes := pt.Homes()
+	p.homesDone += homes
+	p.homesResumed += homes
+	for _, t := range pt.Tallies {
+		p.noteTally(t.ModelTally)
+	}
+	for _, s := range pt.Window {
+		for _, t := range s.Tallies {
+			p.noteTally(t)
+		}
+	}
+}
+
+// noteTally folds one model tally; the caller holds the mutex.
+func (p *ProgressTracker) noteTally(t ModelTally) {
+	if _, ok := p.trials[t.Model]; !ok {
+		i := sort.SearchStrings(p.models, t.Model)
+		p.models = append(p.models, "")
+		copy(p.models[i+1:], p.models[i:])
+		p.models[i] = t.Model
+	}
+	p.trials[t.Model] += t.Trials
+	p.successes[t.Model] += t.Successes
 }
 
 // ReportAt returns the progress as of now.
@@ -93,14 +126,15 @@ func (p *ProgressTracker) ReportAt(now time.Time) ProgressReport {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	r := ProgressReport{
-		ShardsDone:  p.shardsDone,
-		ShardsTotal: p.shardsTotal,
-		HomesDone:   p.homesDone,
-		HomesTotal:  p.homesTotal,
-		ElapsedSecs: now.Sub(p.start).Seconds(),
+		ShardsDone:   p.shardsDone,
+		ShardsTotal:  p.shardsTotal,
+		HomesDone:    p.homesDone,
+		HomesTotal:   p.homesTotal,
+		HomesResumed: p.homesResumed,
+		ElapsedSecs:  now.Sub(p.start).Seconds(),
 	}
 	if r.ElapsedSecs > 0 {
-		r.HomesPerSec = float64(p.homesDone) / r.ElapsedSecs
+		r.HomesPerSec = float64(p.homesDone-p.homesResumed) / r.ElapsedSecs
 		if remaining := p.homesTotal - p.homesDone; remaining > 0 && r.HomesPerSec > 0 {
 			r.ETASecs = float64(remaining) / r.HomesPerSec
 		}
@@ -126,6 +160,9 @@ func (p *ProgressTracker) LineAt(now time.Time) string {
 func (r ProgressReport) Line() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fleet: shard %d/%d  homes %d/%d", r.ShardsDone, r.ShardsTotal, r.HomesDone, r.HomesTotal)
+	if r.HomesResumed > 0 {
+		fmt.Fprintf(&b, " (%d resumed)", r.HomesResumed)
+	}
 	if r.ElapsedSecs > 0 {
 		fmt.Fprintf(&b, "  %.1f homes/s", r.HomesPerSec)
 		if r.ETASecs > 0 {

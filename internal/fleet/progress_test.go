@@ -64,6 +64,58 @@ func TestProgressLineFormat(t *testing.T) {
 	}
 }
 
+// TestProgressTrackerResumedRate: homes restored from a checkpoint count
+// toward completion but not toward the rate, so the ETA reflects the
+// speed of this process rather than a fantasy extrapolated from free
+// work. The tallies inside the resumed partial (folded prefix and parked
+// window shards alike) still feed the per-model breakdown.
+func TestProgressTrackerResumedRate(t *testing.T) {
+	start := time.Unix(1000, 0)
+	p := NewProgressTracker(start, 100)
+	resumed := Partial{
+		Start:         0,
+		Watermark:     2,
+		HomesAttacked: 18,
+		Tallies: []PartialTally{
+			{ModelTally: ModelTally{Model: "C1", Trials: 20, Successes: 18}},
+		},
+		Window: []ShardResult{progressShard("P4", 10, 8, 4)},
+	}
+	resumed.Window[0].Index = 3
+	p.OnResume(resumed, 3, 10)
+	p.OnShard(progressShard("C1", 10, 10, 9), 4, 10)
+	p.OnShard(progressShard("C1", 10, 10, 9), 5, 10)
+
+	r := p.ReportAt(start.Add(4 * time.Second))
+	if r.HomesDone != 48 || r.HomesResumed != 28 {
+		t.Fatalf("homes done/resumed = %d/%d, want 48/28", r.HomesDone, r.HomesResumed)
+	}
+	if r.ShardsDone != 5 || r.ShardsTotal != 10 {
+		t.Fatalf("shards = %d/%d, want 5/10", r.ShardsDone, r.ShardsTotal)
+	}
+	// 20 live homes over 4s, not 48/4: resumed homes cost nothing here.
+	if r.HomesPerSec != 5 {
+		t.Fatalf("rate = %v, want 5 (live homes only)", r.HomesPerSec)
+	}
+	if want := float64(100-48) / 5; r.ETASecs != want {
+		t.Fatalf("eta = %v, want %v", r.ETASecs, want)
+	}
+	if len(r.PerModel) != 2 || r.PerModel[0].Model != "C1" || r.PerModel[1].Model != "P4" {
+		t.Fatalf("per-model missing resumed tallies: %+v", r.PerModel)
+	}
+	if r.PerModel[0].Trials != 40 || r.PerModel[1].Trials != 8 {
+		t.Fatalf("resumed tallies not folded: %+v", r.PerModel)
+	}
+
+	line := r.Line()
+	if !strings.Contains(line, "homes 48/100 (28 resumed)") {
+		t.Fatalf("line missing resumed segment: %q", line)
+	}
+	if !strings.Contains(line, "5.0 homes/s") {
+		t.Fatalf("line rate not live-only: %q", line)
+	}
+}
+
 func TestProgressTrackerZeroElapsed(t *testing.T) {
 	start := time.Unix(1000, 0)
 	p := NewProgressTracker(start, 100)

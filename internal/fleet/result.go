@@ -2,7 +2,9 @@ package fleet
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/obs"
 )
@@ -54,12 +56,57 @@ type Result struct {
 	Metrics obs.Snapshot `json:"metrics"`
 }
 
-// aggregateRetained is the seed's retain-all-then-merge aggregation: fold
-// sorted shard results into the campaign result, combining metrics via
-// obs.Merge in shard-index order. Run no longer uses it — aggregation
-// streams through an aggregator as shards land — but it stays as the
-// executable reference the byte-identity tests compare the streaming path
-// against (TestStreamingAggregateMatchesRetained).
+// exactTally is the aggregation-side form of ModelTally: the cross-shard
+// delay sum accumulates exactly (see obs.FloatSum) with the embedded
+// rounded DelaySumSecs re-derived after every fold. Exactness is what
+// makes tally aggregation independent of how the shard sequence is split
+// across checkpoints and worker processes.
+type exactTally struct {
+	t   ModelTally
+	sum obs.FloatSum
+}
+
+// fold absorbs one shard's tally for this model.
+func (e *exactTally) fold(o ModelTally) {
+	e.t.Trials += o.Trials
+	e.t.Successes += o.Successes
+	e.sum.Add(o.DelaySumSecs)
+	e.t.DelaySumSecs = e.sum.Value()
+	if o.MaxDelaySecs > e.t.MaxDelaySecs {
+		e.t.MaxDelaySecs = o.MaxDelaySecs
+	}
+}
+
+// absorb merges another aggregate's exact tally state for this model.
+func (e *exactTally) absorb(p PartialTally) {
+	e.t.Trials += p.Trials
+	e.t.Successes += p.Successes
+	e.sum.AddSum(&p.DelaySum)
+	e.t.DelaySumSecs = e.sum.Value()
+	if p.MaxDelaySecs > e.t.MaxDelaySecs {
+		e.t.MaxDelaySecs = p.MaxDelaySecs
+	}
+}
+
+// sortedExactTallies flattens the tally map into PartialTally entries
+// sorted by model — the canonical order both Partial encoding and result
+// summaries use.
+func sortedExactTallies(m map[string]*exactTally) []PartialTally {
+	out := make([]PartialTally, 0, len(m))
+	for _, e := range m {
+		out = append(out, PartialTally{ModelTally: e.t, DelaySum: e.sum})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
+	return out
+}
+
+// aggregateRetained is the retain-all-then-merge aggregation: fold sorted
+// shard results into the campaign result, combining metrics via obs.Merge
+// in shard-index order. Run no longer uses it — aggregation streams
+// through an aggregator as shards land — but it stays as the executable
+// reference the byte-identity tests compare the streaming, resumed, and
+// multi-process paths against (TestStreamingAggregateMatchesRetained,
+// TestMergePartialsMatchesRetained).
 func (c Campaign) aggregateRetained(shards []ShardResult) Result {
 	res := Result{
 		Campaign:  c.Spec.Name,
@@ -68,7 +115,7 @@ func (c Campaign) aggregateRetained(shards []ShardResult) Result {
 		ShardSize: c.ShardSize,
 		Spec:      c.Spec,
 	}
-	tallies := make(map[string]*ModelTally)
+	tallies := make(map[string]*exactTally)
 	snaps := make([]obs.Snapshot, 0, len(shards))
 	for _, s := range shards {
 		res.HomesNoTarget += s.HomesNoTarget
@@ -79,10 +126,10 @@ func (c Campaign) aggregateRetained(shards []ShardResult) Result {
 		for _, t := range s.Tallies {
 			agg, ok := tallies[t.Model]
 			if !ok {
-				agg = &ModelTally{Model: t.Model}
+				agg = &exactTally{t: ModelTally{Model: t.Model}}
 				tallies[t.Model] = agg
 			}
-			agg.add(t)
+			agg.fold(t)
 		}
 		snaps = append(snaps, s.Metrics)
 	}
@@ -94,8 +141,9 @@ func (c Campaign) aggregateRetained(shards []ShardResult) Result {
 // finishTallies folds the per-model tally map into the result's sorted
 // PerModel summaries and campaign totals. Shared by the retained reference
 // path and the streaming aggregator so their derived numbers cannot drift.
-func (res *Result) finishTallies(tallies map[string]*ModelTally) {
-	for _, t := range sortTallies(tallies) {
+func (res *Result) finishTallies(tallies map[string]*exactTally) {
+	for _, pt := range sortedExactTallies(tallies) {
+		t := pt.ModelTally
 		s := ModelSummary{
 			Model:        t.Model,
 			Trials:       t.Trials,
@@ -115,11 +163,15 @@ func (res *Result) finishTallies(tallies map[string]*ModelTally) {
 // aggregator is the streaming replacement for aggregateRetained: shard
 // results fold into the running campaign result as they land and are then
 // released — nothing is retained per shard. Fold order is part of the
-// byte-identity contract (error sampling order, floating-point tally and
-// histogram sums), so results arriving out of shard-index order wait in a
-// small reorder window until every lower-indexed shard has folded. With
-// roughly uniform shard costs the window holds O(workers) results; a
-// campaign's full shard set is never resident.
+// byte-identity contract (error sampling order, trace concatenation), so
+// results arriving out of shard-index order wait in a small reorder window
+// until every lower-indexed shard has folded. With roughly uniform shard
+// costs the window holds O(workers) results; a campaign's full shard set
+// is never resident.
+//
+// The aggregator's complete state is exportable as a Partial (partial())
+// and re-importable (restore()/absorb()), exact float sums included —
+// that is the basis of both compact checkpoints and multi-process merges.
 //
 // The metrics side folds into an obs.Accumulator — mutex-guarded and
 // readable at any instant by the live observability plane — whose folded
@@ -127,13 +179,14 @@ func (res *Result) finishTallies(tallies map[string]*ModelTally) {
 // aggregate.
 type aggregator struct {
 	res     Result
-	tallies map[string]*ModelTally
+	tallies map[string]*exactTally
 	metrics *obs.Accumulator
+	start   int                 // first shard index of this aggregate's range
 	next    int                 // next shard index to fold
 	window  map[int]ShardResult // out-of-order arrivals awaiting their turn
 }
 
-func (c Campaign) newAggregator(metrics *obs.Accumulator) *aggregator {
+func (c Campaign) newAggregator(metrics *obs.Accumulator, start int) *aggregator {
 	if metrics == nil {
 		metrics = obs.NewAccumulator()
 	}
@@ -145,8 +198,10 @@ func (c Campaign) newAggregator(metrics *obs.Accumulator) *aggregator {
 			ShardSize: c.ShardSize,
 			Spec:      c.Spec,
 		},
-		tallies: make(map[string]*ModelTally),
+		tallies: make(map[string]*exactTally),
 		metrics: metrics,
+		start:   start,
+		next:    start,
 		window:  make(map[int]ShardResult),
 	}
 }
@@ -180,13 +235,79 @@ func (g *aggregator) fold(s ShardResult) {
 	for _, t := range s.Tallies {
 		agg, ok := g.tallies[t.Model]
 		if !ok {
-			agg = &ModelTally{Model: t.Model}
+			agg = &exactTally{t: ModelTally{Model: t.Model}}
 			g.tallies[t.Model] = agg
 		}
-		agg.add(t)
+		agg.fold(t)
 	}
 	g.metrics.Add(s.Metrics)
 	g.next++
+}
+
+// partial exports the aggregator's complete state as a mergeable Partial:
+// what a checkpoint persists after every fold, and what a finished
+// -shard-range worker emits. O(aggregate + reorder window), independent of
+// how many shards have folded.
+func (g *aggregator) partial() Partial {
+	return Partial{
+		Start:         g.start,
+		Watermark:     g.next,
+		HomesAttacked: g.res.HomesAttacked,
+		HomesNoTarget: g.res.HomesNoTarget,
+		HomesFailed:   g.res.HomesFailed,
+		Alarms:        g.res.Alarms,
+		Errors:        append([]string(nil), g.res.Errors...),
+		Tallies:       sortedExactTallies(g.tallies),
+		Metrics:       g.metrics.State(),
+		MetricSums:    g.metrics.HistogramSums(),
+		Window:        sortedShards(g.window),
+	}
+}
+
+// absorb folds a completed adjacent partial into the aggregate — the
+// cross-process merge step. The partial's exact tally and metric sums
+// transfer limb-for-limb, so absorbing a range's partial leaves the
+// aggregator in the precise state it would hold had it folded that
+// range's shards itself.
+func (g *aggregator) absorb(p Partial) error {
+	if p.Start != g.next {
+		return fmt.Errorf("fleet: partial starts at shard %d but the aggregate is at shard %d — ranges must be contiguous", p.Start, g.next)
+	}
+	if len(p.Window) != 0 {
+		return fmt.Errorf("fleet: partial covering shards [%d,%d) still holds %d unfolded window shards — its range is incomplete", p.Start, p.Watermark, len(p.Window))
+	}
+	g.res.HomesAttacked += p.HomesAttacked
+	g.res.HomesNoTarget += p.HomesNoTarget
+	g.res.HomesFailed += p.HomesFailed
+	g.res.Alarms += p.Alarms
+	g.res.Errors = append(g.res.Errors, p.Errors...)
+	for _, t := range p.Tallies {
+		agg, ok := g.tallies[t.Model]
+		if !ok {
+			agg = &exactTally{t: ModelTally{Model: t.Model}}
+			g.tallies[t.Model] = agg
+		}
+		agg.absorb(t)
+	}
+	if err := g.metrics.Absorb(p.Metrics, p.MetricSums, p.Watermark-p.Start); err != nil {
+		return err
+	}
+	g.next = p.Watermark
+	return nil
+}
+
+// restore seeds a fresh aggregator from a checkpointed partial: the folded
+// prefix absorbs exactly, the window shards re-enter the reorder window.
+func (g *aggregator) restore(p Partial) error {
+	window := p.Window
+	p.Window = nil
+	if err := g.absorb(p); err != nil {
+		return err
+	}
+	for _, s := range window {
+		g.window[s.Index] = s
+	}
+	return nil
 }
 
 // finish assembles the final Result. Every shard must have folded (the

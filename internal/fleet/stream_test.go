@@ -72,8 +72,12 @@ func TestStreamingResumeMatchesRetained(t *testing.T) {
 	path := filepath.Join(dir, "ck.json")
 	interrupted := testCampaign(t).withDefaults()
 	interrupted.Spec.fill()
+	g := interrupted.newAggregator(nil, 0)
+	for _, s := range shards[:total/2] {
+		g.add(s)
+	}
 	ck := newCheckpointer(path, interrupted.identity())
-	if err := ck.save(shards[:total/2]); err != nil {
+	if err := ck.save(g.partial()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -102,7 +106,7 @@ func TestAggregatorReordersShards(t *testing.T) {
 	want := resultJSON(t, c.aggregateRetained(shards))
 
 	// Worst case: shard 0 lands last, so everything buffers in the window.
-	g := c.newAggregator(nil)
+	g := c.newAggregator(nil, 0)
 	for i := total - 1; i >= 0; i-- {
 		g.add(shards[i])
 	}

@@ -1,6 +1,9 @@
 package obs
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // merger is the incremental form of Merge: fold() applies exactly one
 // left-fold step, so folding snapshots s0..sn one at a time produces the
@@ -8,6 +11,13 @@ import "sync"
 // Merge(s0, ..., sn). Merge and Accumulator both run on this type, which
 // is what makes "stream the snapshots in as they land" and "retain them
 // all and merge at the end" provably interchangeable.
+//
+// Histogram sums are accumulated exactly: hsums holds one FloatSum per
+// out.Histograms entry, and the entry's float64 Sum is always that exact
+// sum rounded once. The exact state is exportable (Accumulator
+// .HistogramSums) and re-importable (foldSorted with sums / Accumulator
+// .Absorb), which is what lets a fold be split across checkpoints and
+// processes and still land on identical bytes.
 //
 // The scratch slices implement the double-buffer swap from the original
 // Merge loop: each fold builds the new accumulator state in the previous
@@ -18,9 +28,11 @@ import "sync"
 // be mutated).
 type merger struct {
 	out      Snapshot
+	hsums    []*FloatSum // exact sums, index-aligned with out.Histograms
 	scratchC []CounterValue
 	scratchG []GaugeValue
 	scratchH []HistogramValue
+	scratchS []*FloatSum
 }
 
 // fold merges s into the accumulated state. Registry snapshots are already
@@ -33,9 +45,20 @@ func (m *merger) fold(s Snapshot) {
 		s.Histograms = append([]HistogramValue(nil), s.Histograms...)
 		s.sort()
 	}
+	m.foldSorted(s, nil)
+}
+
+// foldSorted merges the canonically-ordered s into the accumulated state.
+// sums, when non-nil, carries the exact histogram sums behind s
+// (index-aligned with s.Histograms): the fold then reproduces, limb for
+// limb, the state it would have reached by folding whatever snapshot
+// sequence produced s — the primitive behind Accumulator.Absorb.
+func (m *merger) foldSorted(s Snapshot, sums []FloatSum) {
 	m.out.Counters, m.scratchC = mergeCounters(m.scratchC[:0], m.out.Counters, s.Counters), m.out.Counters
 	m.out.Gauges, m.scratchG = mergeGauges(m.scratchG[:0], m.out.Gauges, s.Gauges), m.out.Gauges
-	m.out.Histograms, m.scratchH = mergeHistograms(m.scratchH[:0], m.out.Histograms, s.Histograms), m.out.Histograms
+	h, hs := mergeHistograms(m.scratchH[:0], m.scratchS[:0], m.out.Histograms, m.hsums, s.Histograms, sums)
+	m.scratchH, m.scratchS = m.out.Histograms, m.hsums
+	m.out.Histograms, m.hsums = h, hs
 	m.out.Trace = append(m.out.Trace, s.Trace...)
 	m.out.TraceEvicted += s.TraceEvicted
 	m.out.TraceDiscarded += s.TraceDiscarded
@@ -66,9 +89,10 @@ type Accumulator struct {
 // until the first Add.
 func NewAccumulator() *Accumulator { return &Accumulator{} }
 
-// Add folds one snapshot into the aggregate. Fold order is significant for
-// byte-identity (histogram sums are floating-point), so callers that
-// promise deterministic output must Add in a deterministic order.
+// Add folds one snapshot into the aggregate. Histogram sums accumulate
+// exactly, so they are order-independent; trace events concatenate in Add
+// order, so callers that promise deterministic output still Add in a
+// deterministic order.
 func (a *Accumulator) Add(s Snapshot) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -81,6 +105,51 @@ func (a *Accumulator) Adds() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.adds
+}
+
+// HistogramSums returns the exact histogram sums behind the aggregate,
+// index-aligned with State().Histograms. Each State() entry's Sum is the
+// corresponding exact sum rounded once. Exporting State, HistogramSums
+// and Adds together captures the accumulator's complete fold state; a
+// fresh accumulator Absorbing that triple continues the fold as if it had
+// performed every original Add itself.
+func (a *Accumulator) HistogramSums() []FloatSum {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]FloatSum, len(a.m.hsums))
+	for i, f := range a.m.hsums {
+		out[i] = *f
+	}
+	return out
+}
+
+// Absorb folds a previously exported aggregate — a State() snapshot with
+// its HistogramSums() and Adds() — into this accumulator, exactly.
+// Add(s) alone would restart each histogram's exact sum from the rounded
+// float64 in the snapshot; Absorb carries the exact state across, so the
+// result is bit-identical to having performed the source accumulator's
+// Adds in place. Any grouping of the same snapshots into absorbed
+// aggregates converges on the same state, which is what makes checkpoint
+// resume and per-process shard-range partials byte-identical to an
+// uninterrupted single-process fold.
+//
+// sums must be index-aligned with s.Histograms and s must be in canonical
+// order (State output always is); adds is folded into the Adds count.
+func (a *Accumulator) Absorb(s Snapshot, sums []FloatSum, adds int) error {
+	if len(sums) != len(s.Histograms) {
+		return fmt.Errorf("obs: Absorb of %d exact sums for %d histograms", len(sums), len(s.Histograms))
+	}
+	if adds < 0 {
+		return fmt.Errorf("obs: Absorb of negative add count %d", adds)
+	}
+	if !countersSorted(s.Counters) || !gaugesSorted(s.Gauges) || !histogramsSorted(s.Histograms) {
+		return fmt.Errorf("obs: Absorb needs a canonically ordered snapshot")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.m.foldSorted(s, sums)
+	a.adds += adds
+	return nil
 }
 
 // State returns the current aggregate as an isolated snapshot value: equal

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// floatSumLimbs sizes the fixed-point accumulator. A finite float64's
+// mantissa occupies bit positions 0 (the least subnormal, 2^-1074) through
+// 2097 (the top bit of the largest finite value, 2^1023) of a fixed-point
+// number scaled by 2^-1074 — 2098 bits. One extra limb of headroom lets
+// ~2^63 maximal values accumulate before the signed total could wrap, far
+// beyond any real workload: 34 limbs, 2176 bits.
+const floatSumLimbs = 34
+
+// FloatSum is an exact float64 accumulator: the running sum is held as a
+// 2176-bit two's-complement fixed-point integer (scale 2^-1074) wide
+// enough to represent every finite float64 — and every sum of them —
+// without rounding. Because each Add lands exactly, accumulation is
+// associative and commutative: any grouping or interleaving of the same
+// additions produces the same state, and Value rounds the exact real sum
+// to the nearest float64 exactly once.
+//
+// That is the property the plain float64 fold lacks (IEEE addition rounds
+// per step, so (a+b)+(c+d) ≠ ((a+b)+c)+d in general) and the one that
+// lets independently-computed partial aggregates — checkpoint resumes,
+// per-process shard ranges — merge byte-identically to a single serial
+// fold. Merge partial sums with AddSum; it is exact limb addition.
+//
+// The zero value is an empty sum. FloatSum is a plain value: copy it to
+// snapshot it. Add panics on NaN or ±Inf — an exact sum of non-finite
+// values is meaningless, and the JSON encoding could not carry them
+// anyway.
+type FloatSum struct {
+	limbs [floatSumLimbs]uint64
+}
+
+// Add folds one value into the sum, exactly.
+func (s *FloatSum) Add(v float64) {
+	if v == 0 {
+		return // ±0 contributes nothing (and keeps the zero state canonical)
+	}
+	b := math.Float64bits(v)
+	exp := int(b>>52) & 0x7ff
+	mant := b & (1<<52 - 1)
+	if exp == 0x7ff {
+		panic(fmt.Sprintf("obs: FloatSum cannot accumulate non-finite value %v", v))
+	}
+	// v = mant × 2^(exp-1075) for normals (implicit leading bit restored),
+	// mant × 2^-1074 for subnormals; off is the fixed-point bit position of
+	// mant's least-significant bit.
+	off := 0
+	if exp != 0 {
+		mant |= 1 << 52
+		off = exp - 1
+	}
+	limb, shift := off/64, uint(off%64)
+	lo := mant << shift
+	var hi uint64
+	if shift != 0 {
+		hi = mant >> (64 - shift)
+	}
+	if b>>63 == 0 {
+		s.addAt(limb, lo, hi)
+	} else {
+		s.subAt(limb, lo, hi)
+	}
+}
+
+func (s *FloatSum) addAt(limb int, lo, hi uint64) {
+	var c uint64
+	s.limbs[limb], c = bits.Add64(s.limbs[limb], lo, 0)
+	s.limbs[limb+1], c = bits.Add64(s.limbs[limb+1], hi, c)
+	for i := limb + 2; i < floatSumLimbs && c != 0; i++ {
+		s.limbs[i], c = bits.Add64(s.limbs[i], 0, c)
+	}
+}
+
+func (s *FloatSum) subAt(limb int, lo, hi uint64) {
+	var bw uint64
+	s.limbs[limb], bw = bits.Sub64(s.limbs[limb], lo, 0)
+	s.limbs[limb+1], bw = bits.Sub64(s.limbs[limb+1], hi, bw)
+	for i := limb + 2; i < floatSumLimbs && bw != 0; i++ {
+		s.limbs[i], bw = bits.Sub64(s.limbs[i], 0, bw)
+	}
+}
+
+// AddSum folds another exact sum into this one — plain two's-complement
+// limb addition, so merging partial sums is itself exact and associative.
+func (s *FloatSum) AddSum(o *FloatSum) {
+	var c uint64
+	for i := range s.limbs {
+		s.limbs[i], c = bits.Add64(s.limbs[i], o.limbs[i], c)
+	}
+}
+
+// IsZero reports whether the sum is exactly zero.
+func (s *FloatSum) IsZero() bool {
+	for _, l := range s.limbs {
+		if l != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Value rounds the exact sum to the nearest float64 (ties to even). The
+// result depends only on the exact real value accumulated, never on the
+// order or grouping of the additions that produced it.
+func (s *FloatSum) Value() float64 {
+	m := s.limbs
+	neg := m[floatSumLimbs-1]>>63 != 0
+	if neg {
+		c := uint64(1)
+		for i := range m {
+			m[i], c = bits.Add64(^m[i], 0, c)
+		}
+	}
+	top := -1
+	for i := floatSumLimbs - 1; i >= 0; i-- {
+		if m[i] != 0 {
+			top = i
+			break
+		}
+	}
+	if top < 0 {
+		return 0
+	}
+	p := top*64 + bits.Len64(m[top]) - 1 // highest set bit of the magnitude
+	var v float64
+	if p <= 52 {
+		// The whole magnitude fits a float64 mantissa at the subnormal
+		// scale: exact, no rounding.
+		v = math.Ldexp(float64(m[0]), -1074)
+	} else {
+		mant := window53(&m, p-52)
+		round := bit(&m, p-53)
+		if round != 0 && (anyBelow(&m, p-53) || mant&1 != 0) {
+			mant++
+			if mant == 1<<53 {
+				mant >>= 1
+				p++
+			}
+		}
+		v = math.Ldexp(float64(mant), p-52-1074)
+	}
+	if neg {
+		v = -v
+	}
+	return v
+}
+
+// window53 extracts the 53 bits starting at bit position from.
+func window53(m *[floatSumLimbs]uint64, from int) uint64 {
+	limb, shift := from/64, uint(from%64)
+	w := m[limb] >> shift
+	if shift != 0 && limb+1 < floatSumLimbs {
+		w |= m[limb+1] << (64 - shift)
+	}
+	return w & (1<<53 - 1)
+}
+
+func bit(m *[floatSumLimbs]uint64, i int) uint64 {
+	return m[i/64] >> (uint(i) % 64) & 1
+}
+
+// anyBelow reports whether any bit strictly below position k is set.
+func anyBelow(m *[floatSumLimbs]uint64, k int) bool {
+	limb, shift := k/64, uint(k%64)
+	for i := 0; i < limb; i++ {
+		if m[i] != 0 {
+			return true
+		}
+	}
+	return m[limb]&(1<<shift-1) != 0
+}
+
+// MarshalJSON encodes the sum as its little-endian limb array with
+// trailing zero limbs trimmed — an exact, canonical encoding (a given
+// state always produces the same bytes, and round-trips bit-for-bit).
+func (s FloatSum) MarshalJSON() ([]byte, error) {
+	n := floatSumLimbs
+	for n > 0 && s.limbs[n-1] == 0 {
+		n--
+	}
+	return json.Marshal(s.limbs[:n])
+}
+
+// UnmarshalJSON decodes a limb array, zero-filling the trimmed tail.
+func (s *FloatSum) UnmarshalJSON(data []byte) error {
+	var limbs []uint64
+	if err := json.Unmarshal(data, &limbs); err != nil {
+		return err
+	}
+	if len(limbs) > floatSumLimbs {
+		return fmt.Errorf("obs: FloatSum encoding has %d limbs, max %d", len(limbs), floatSumLimbs)
+	}
+	*s = FloatSum{}
+	copy(s.limbs[:], limbs)
+	return nil
+}

@@ -629,16 +629,27 @@ func (s Snapshot) Families() []string {
 // shares label slices (and pass-through histogram bounds/counts) with its
 // inputs — all immutable by the snapshot contract.
 //
+// Histogram sums are accumulated exactly (see FloatSum): the merged Sum
+// is the real-number sum of the input Sums rounded to float64 once, never
+// a chain of per-step roundings. The result therefore depends only on
+// WHICH snapshots were merged, not on how a fixed-order fold was grouped
+// — but a merged Snapshot carries only the rounded Sum, so re-merging an
+// already-merged snapshot as a plain input restarts its exact sum from
+// that rounded value. Splitting one logical fold across aggregates and
+// recombining exactly goes through Accumulator.Absorb, which transfers
+// the exact state (Accumulator.HistogramSums) across the boundary. Merge
+// panics if a histogram Sum is NaN or ±Inf — an exact sum over those is
+// meaningless.
+//
 // Merge makes snapshots a monoid: Snapshot{} is the identity
 // (Merge() == Snapshot{}, and folding the empty snapshot in changes
-// nothing), and the fold is associative in its left-nested form —
-// Merge(Merge(a, b), c) equals Merge(a, b, c) exactly, floating-point
-// sums included, because folding an already-merged prefix replays the
-// same additions in the same order. (Full reassociation like
-// Merge(a, Merge(b, c)) regroups float additions and trace order, so
-// deterministic callers always fold left in a fixed order.) The monoid
-// laws are property-tested in accumulate_test.go; they are what lets
-// aggregation split arbitrarily across shards, checkpoints, and resumes.
+// nothing), merging is deterministic in its inputs, re-folding a merged
+// aggregate changes nothing, and — through Absorb — the fold
+// re-associates exactly under any grouping, floating-point sums included.
+// Trace order still follows argument order, so deterministic callers fold
+// in a fixed order. The monoid laws are property-tested in
+// accumulate_test.go; they are what lets aggregation split arbitrarily
+// across shards, checkpoints, resumes, and worker processes.
 //
 // Merge is a left fold over the merger type; Accumulator (accumulate.go)
 // runs the identical fold one snapshot at a time, which is what guarantees
@@ -703,16 +714,36 @@ func mergeGauges(dst, acc, b []GaugeValue) []GaugeValue {
 
 // mergeHistograms joins acc with b. A combine allocates fresh Counts — an
 // accumulator entry may still alias an input snapshot's slice, which must
-// never be mutated. Entries that never combine pass through untouched.
-func mergeHistograms(dst, acc, b []HistogramValue) []HistogramValue {
+// never be mutated.
+//
+// Sums are kept exactly: dsums/asums carry one FloatSum per accumulator
+// entry (index-aligned), and every entry's Sum field is that exact sum
+// rounded once — never a chain of per-fold float roundings. bsums, when
+// non-nil, carries the exact sums behind b's entries (an aggregate being
+// absorbed); when nil, b is an ordinary snapshot and b's rounded Sum is
+// the value folded in. Keeping the exact state is what makes absorbing
+// independently-folded aggregates reproduce a serial fold bit-for-bit.
+func mergeHistograms(dst []HistogramValue, dsums []*FloatSum, acc []HistogramValue, asums []*FloatSum, b []HistogramValue, bsums []FloatSum) ([]HistogramValue, []*FloatSum) {
+	appendB := func(h HistogramValue, j int) {
+		f := new(FloatSum)
+		if bsums != nil {
+			*f = bsums[j]
+		} else {
+			f.Add(h.Sum)
+		}
+		h.Sum = f.Value()
+		dst = append(dst, h)
+		dsums = append(dsums, f)
+	}
 	i, j := 0, 0
 	for i < len(acc) && j < len(b) {
 		switch c := compareMetric(acc[i].Name, acc[i].Labels, b[j].Name, b[j].Labels); {
 		case c < 0:
 			dst = append(dst, acc[i])
+			dsums = append(dsums, asums[i])
 			i++
 		case c > 0:
-			dst = append(dst, b[j])
+			appendB(b[j], j)
 			j++
 		default:
 			m := acc[i]
@@ -726,14 +757,26 @@ func mergeHistograms(dst, acc, b []HistogramValue) []HistogramValue {
 				counts[k] += h.Counts[k]
 			}
 			m.Counts = counts
-			m.Sum += h.Sum
+			f := asums[i]
+			if bsums != nil {
+				f.AddSum(&bsums[j])
+			} else {
+				f.Add(h.Sum)
+			}
+			m.Sum = f.Value()
 			m.Count += h.Count
 			dst = append(dst, m)
+			dsums = append(dsums, f)
 			i++
 			j++
 		}
 	}
-	dst = append(dst, acc[i:]...)
-	dst = append(dst, b[j:]...)
-	return dst
+	for ; i < len(acc); i++ {
+		dst = append(dst, acc[i])
+		dsums = append(dsums, asums[i])
+	}
+	for ; j < len(b); j++ {
+		appendB(b[j], j)
+	}
+	return dst, dsums
 }
