@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Turn phantomlint -json output into GitHub workflow annotations.
+
+Reads the JSON report (schema version 1) from the file named in argv[1]
+and emits one workflow command per finding: ::error for live findings,
+::notice for //lint:allow-suppressed ones (so suppressions stay visible
+in review without failing the job). File paths are relativized to the
+workspace so annotations attach to the diff view.
+"""
+import json
+import os
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1]
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"::warning::could not read lint report {path}: {e}")
+        return 0
+    if report.get("version") != 1:
+        print(f"::warning::unexpected lint report version {report.get('version')}")
+        return 0
+
+    cwd = os.getcwd()
+    live = 0
+    for f in report.get("findings", []):
+        rel = os.path.relpath(f["file"], cwd)
+        msg = f"[{f['analyzer']}] {f['message']}"
+        where = f"file={rel},line={f['line']},col={f['col']}"
+        if f.get("suppressed"):
+            print(f"::notice {where},title=phantomlint (suppressed)::{msg}")
+        else:
+            live += 1
+            print(f"::error {where},title=phantomlint::{msg}")
+    print(f"{live} live finding(s), "
+          f"{len(report.get('findings', [])) - live} suppressed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

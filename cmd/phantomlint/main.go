@@ -5,7 +5,13 @@
 //
 //	go run ./cmd/phantomlint ./...            # analyze everything
 //	go run ./cmd/phantomlint -run maporder ./internal/sniff/
+//	go run ./cmd/phantomlint -json ./...      # machine-readable findings
 //	go run ./cmd/phantomlint -list            # describe the suite
+//
+// Packages are analyzed in dependency waves (imports before importers) so
+// cross-package facts — taint summaries, wall-clock-boundary marks — are
+// always complete when a package is reached; within a wave, packages run
+// concurrently (-parallel). Output is byte-identical at any parallelism.
 //
 // Exit status is 0 when no findings survive //lint:allow suppression,
 // 1 when findings are reported, 2 on usage or load errors.
@@ -18,12 +24,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/detflow"
+	"repro/internal/analysis/goroutineguard"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/resetalloc"
@@ -35,6 +46,8 @@ import (
 
 // suite is the phantomlint analyzer set, in reporting order.
 var suite = []*analysis.Analyzer{
+	detflow.Analyzer,
+	goroutineguard.Analyzer,
 	maporder.Analyzer,
 	resetalloc.Analyzer,
 	simdeterminism.Analyzer,
@@ -53,8 +66,11 @@ func main() {
 
 	listFlag := flag.Bool("list", false, "list the analyzers and exit")
 	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	parallelFlag := flag.Int("parallel", runtime.GOMAXPROCS(0), "max packages analyzed concurrently per dependency wave")
+	jsonFlag := flag.Bool("json", false, "emit findings as JSON (suppressed findings included, marked)")
+	verboseFlag := flag.Bool("v", false, "report wall time and wave schedule to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: phantomlint [-list] [-run name,name] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: phantomlint [-list] [-run name,name] [-parallel n] [-json] [-v] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -81,23 +97,94 @@ func main() {
 		fmt.Fprintln(os.Stderr, "phantomlint:", err)
 		os.Exit(2)
 	}
+	start := time.Now()
 	pkgs, err := load.Packages(wd, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "phantomlint:", err)
 		os.Exit(2)
 	}
-	findings, err := analysis.Run(pkgs, analyzers)
+	loaded := time.Now()
+
+	// JSON output keeps suppressed findings (flagged) so downstream
+	// tooling can audit //lint:allow usage; only live findings fail.
+	findings, _, err := analysis.RunGraph(pkgs, analyzers, analysis.GraphOptions{
+		Parallel:          *parallelFlag,
+		IncludeSuppressed: *jsonFlag,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "phantomlint:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Printf("%s: %s (%s)\n", f.Pos, f.Message, f.Analyzer)
+	done := time.Now()
+
+	if *verboseFlag {
+		waves := analysis.Waves(pkgs)
+		sizes := make([]string, len(waves))
+		for i, w := range waves {
+			sizes[i] = fmt.Sprint(len(w))
+		}
+		fmt.Fprintf(os.Stderr, "phantomlint: %d packages in %d waves [%s], parallel=%d\n",
+			len(pkgs), len(waves), strings.Join(sizes, " "), *parallelFlag)
+		fmt.Fprintf(os.Stderr, "phantomlint: load %.2fs, analysis %.2fs, total %.2fs\n",
+			loaded.Sub(start).Seconds(), done.Sub(loaded).Seconds(), done.Sub(start).Seconds())
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "phantomlint: %d finding(s)\n", len(findings))
+
+	live := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			live++
+		}
+	}
+
+	if *jsonFlag {
+		if err := writeJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "phantomlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s: %s (%s)\n", f.Pos, f.Message, f.Analyzer)
+		}
+	}
+	if live > 0 {
+		fmt.Fprintf(os.Stderr, "phantomlint: %d finding(s)\n", live)
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is one diagnostic in -json output. The schema is stable:
+// tooling (CI annotations, editors) may rely on these field names.
+type jsonFinding struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+}
+
+// jsonReport is the -json document: versioned so consumers can detect
+// schema changes.
+type jsonReport struct {
+	Version  int           `json:"version"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+func writeJSON(w *os.File, findings []analysis.Finding) error {
+	report := jsonReport{Version: 1, Findings: []jsonFinding{}}
+	for _, f := range findings {
+		report.Findings = append(report.Findings, jsonFinding{
+			Analyzer:   f.Analyzer,
+			File:       f.Pos.Filename,
+			Line:       f.Pos.Line,
+			Col:        f.Pos.Column,
+			Message:    f.Message,
+			Suppressed: f.Suppressed,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(report)
 }
 
 func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {

@@ -9,9 +9,18 @@
 // The cfg names the package's Go files and maps its imports to compiled
 // export-data files from the build cache, which the stdlib gc importer
 // can read directly via a lookup function — so this mode needs neither
-// the source importer nor golang.org/x/tools. Dependency-only packages
-// arrive with VetxOnly=true and just need their facts output touched;
-// phantomlint's analyzers are fact-free, so that is the whole job.
+// the source importer nor golang.org/x/tools.
+//
+// Since phantomlint v2 the suite exchanges facts (taint summaries,
+// wall-clock-boundary marks), and each vet unit is a separate process, so
+// facts ride the driver's .vetx files: PackageVetx maps each import to
+// the fact file its unit wrote, which seeds this unit's store; VetxOutput
+// receives this unit's own fact file. Dependency-only packages arrive
+// with VetxOnly=true — module-local ones get a real facts-only pass
+// (their summaries are what make cross-package taint work), while stdlib
+// and external dependencies write an empty file: the analyzers' root
+// tables already cover them, so the vettool and the standalone driver
+// reach identical verdicts.
 package main
 
 import (
@@ -30,6 +39,13 @@ import (
 	"repro/internal/analysis/load"
 )
 
+// vettoolVersion feeds the build cache key; bump it when analyzer
+// semantics or the fact wire format change so cached vet verdicts and
+// .vetx files invalidate.
+const vettoolVersion = "phantomlint version 3 " +
+	"suite=detflow,goroutineguard,maporder,resetalloc,simdeterminism,timerguard,traceguard,wallclockboundary " +
+	"factfmt=1"
+
 // vetConfig is the package description cmd/go writes for a vettool. Field
 // set and meaning follow the x/tools unitchecker contract.
 type vetConfig struct {
@@ -40,6 +56,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	VetxOnly                  bool
 	VetxOutput                string
@@ -57,9 +74,7 @@ func vettoolMain(suite []*analysis.Analyzer) bool {
 	for _, a := range args {
 		switch {
 		case a == "-V=full":
-			// The reported version feeds the build cache key; bump it when
-			// analyzer semantics change so cached vet verdicts invalidate.
-			fmt.Println("phantomlint version 2 suite=maporder,resetalloc,simdeterminism,timerguard,traceguard,wallclockboundary")
+			fmt.Println(vettoolVersion)
 			return true
 		case a == "-flags":
 			type flagDef struct {
@@ -91,6 +106,13 @@ func vettoolMain(suite []*analysis.Analyzer) bool {
 	return true
 }
 
+// moduleLocal reports whether an import path belongs to this module —
+// the only packages whose facts must be computed from source. Everything
+// else is covered by the analyzers' root tables.
+func moduleLocal(path string) bool {
+	return path == "repro" || strings.HasPrefix(path, "repro/")
+}
+
 func runUnitchecker(cfgPath string, jsonOut bool, suite []*analysis.Analyzer) error {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -100,16 +122,29 @@ func runUnitchecker(cfgPath string, jsonOut bool, suite []*analysis.Analyzer) er
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return fmt.Errorf("parsing %s: %v", cfgPath, err)
 	}
+
 	// The driver expects a facts file for every package it schedules,
-	// dependencies included. Phantomlint's analyzers exchange no facts, so
-	// an empty file satisfies the contract.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			return err
+	// dependencies included. Non-local dependencies carry no facts, so an
+	// empty file satisfies the contract and keeps their units cheap.
+	if cfg.VetxOnly && !moduleLocal(cfg.ImportPath) {
+		if cfg.VetxOutput != "" {
+			return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
 		}
-	}
-	if cfg.VetxOnly {
 		return nil
+	}
+
+	// Seed the store with every dependency's fact file. Encode re-emits
+	// inherited facts, so facts flow through indirect dependencies even
+	// when the middle package exports nothing of its own.
+	store := analysis.NewStore(suite)
+	for _, vetxFile := range cfg.PackageVetx {
+		depData, err := os.ReadFile(vetxFile)
+		if err != nil {
+			return fmt.Errorf("reading dependency facts: %v", err)
+		}
+		if err := store.Decode(depData); err != nil {
+			return fmt.Errorf("decoding %s: %v", vetxFile, err)
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -152,9 +187,36 @@ func runUnitchecker(cfgPath string, jsonOut bool, suite []*analysis.Analyzer) er
 		Pkg:        tpkg,
 		TypesInfo:  info,
 	}
-	findings, err := analysis.Run([]*analysis.Package{pkg}, suite)
+	findings, store, err := analysis.RunGraph([]*analysis.Package{pkg}, suite, analysis.GraphOptions{
+		Store:     store,
+		FactsOnly: cfg.VetxOnly,
+	})
 	if err != nil {
 		return err
+	}
+	// The standalone loader analyzes non-test files only (the invariants
+	// govern simulation code; tests legitimately use wall-clock timeouts
+	// and ad-hoc output). vet drives test variants through the same cfg
+	// path, so drop test-file findings to keep the two modes' verdicts
+	// identical.
+	kept := findings[:0]
+	for _, f := range findings {
+		if !strings.HasSuffix(f.Pos.Filename, "_test.go") {
+			kept = append(kept, f)
+		}
+	}
+	findings = kept
+
+	// Write facts before any reporting path can exit: the driver needs
+	// the file even when the unit has diagnostics.
+	if cfg.VetxOutput != "" {
+		factData, err := store.Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.VetxOutput, factData, 0o666); err != nil {
+			return err
+		}
 	}
 	if len(findings) == 0 {
 		return nil

@@ -1,0 +1,243 @@
+// Protocol-level test for the vet -vettool mode: builds the real binary
+// and drives it the way cmd/go does — version handshake, flag listing,
+// then .cfg units with export data and fact files — against a throwaway
+// module. The point is the wire contract: facts written by a dependency
+// unit must change a later unit's verdict.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles phantomlint into dir and returns the binary path.
+func buildTool(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "phantomlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building phantomlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestVettoolVersionHandshake(t *testing.T) {
+	bin := buildTool(t, t.TempDir())
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	line := strings.TrimSpace(string(out))
+	if strings.ContainsAny(line, "\n") {
+		t.Errorf("-V=full must print a single line, got %q", line)
+	}
+	// The version string keys the build cache: it must name the tool and
+	// pin both the suite and the fact format.
+	for _, want := range []string{"phantomlint version", "detflow", "goroutineguard", "factfmt="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("-V=full output %q missing %q", line, want)
+		}
+	}
+}
+
+func TestVettoolFlagsHandshake(t *testing.T) {
+	bin := buildTool(t, t.TempDir())
+	out, err := exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var defs []struct {
+		Name string
+		Bool bool
+	}
+	if err := json.Unmarshal(out, &defs); err != nil {
+		t.Fatalf("-flags output is not a JSON flag list: %v\n%s", err, out)
+	}
+	names := map[string]bool{}
+	for _, d := range defs {
+		names[d.Name] = true
+	}
+	if !names["V"] || !names["json"] {
+		t.Errorf("-flags must describe V and json, got %v", names)
+	}
+}
+
+// writeTestModule lays out a module named repro (the analyzers' scoping
+// is path-based, so the fixture must live under the real module path)
+// with a wall-clock helper in the exempt bench subtree and a simulation
+// package laundering the clock through it.
+func writeTestModule(t *testing.T, dir string) {
+	t.Helper()
+	files := map[string]string{
+		"go.mod": "module repro\n\ngo 1.22\n",
+		"internal/bench/vthelp/vthelp.go": `// Package vthelp wraps the wall clock; bench code may.
+package vthelp
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+		"internal/vtprobe/probe.go": `// Package vtprobe is simulation-scoped and calls the launderer.
+package vtprobe
+
+import "repro/internal/bench/vthelp"
+
+// Use smuggles wall-clock time into sim code.
+func Use() int64 { return vthelp.Stamp() }
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// exportData compiles the module and returns ImportPath → export-data
+// file for every dependency, the way cmd/go hands them to a vettool.
+func exportData(t *testing.T, modDir string) map[string]string {
+	t.Helper()
+	cmd := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", "./...")
+	cmd.Dir = modDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list -export: %v\n%s", err, stderr.Bytes())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct {
+			ImportPath string
+			Export     string
+		}
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			t.Fatalf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports
+}
+
+// runUnit writes cfg as a .cfg file and invokes the tool on it, returning
+// combined output and exit code.
+func runUnit(t *testing.T, bin, dir, name string, cfg vetConfig) (string, int) {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, name+".cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, cfgPath)
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if err != nil {
+		var exit *exec.ExitError
+		if !errors.As(err, &exit) {
+			t.Fatalf("running unit %s: %v\n%s", name, err, out)
+		}
+		code = exit.ExitCode()
+	}
+	return string(out), code
+}
+
+func TestVettoolFactRoundTrip(t *testing.T) {
+	work := t.TempDir()
+	bin := buildTool(t, work)
+	modDir := filepath.Join(work, "mod")
+	writeTestModule(t, modDir)
+	exports := exportData(t, modDir)
+	if exports["time"] == "" || exports["repro/internal/bench/vthelp"] == "" {
+		t.Fatalf("missing export data: %v", exports)
+	}
+
+	// Unit 1: the bench helper as a dependency-only unit. VetxOnly means
+	// no diagnostics, but being module-local it must still compute and
+	// write real facts — the taint summary for Stamp.
+	helpVetx := filepath.Join(work, "vthelp.vetx")
+	out, code := runUnit(t, bin, work, "vthelp", vetConfig{
+		ID:         "repro/internal/bench/vthelp",
+		Compiler:   "gc",
+		ImportPath: "repro/internal/bench/vthelp",
+		GoFiles:    []string{filepath.Join(modDir, "internal/bench/vthelp/vthelp.go")},
+		ImportMap:  map[string]string{"time": "time"},
+		PackageFile: map[string]string{
+			"time": exports["time"],
+		},
+		VetxOnly:   true,
+		VetxOutput: helpVetx,
+	})
+	if code != 0 {
+		t.Fatalf("vthelp unit exited %d:\n%s", code, out)
+	}
+	factData, err := os.ReadFile(helpVetx)
+	if err != nil {
+		t.Fatalf("vthelp unit wrote no facts file: %v", err)
+	}
+	if !strings.Contains(string(factData), "Stamp") || !strings.Contains(string(factData), "wallclock") {
+		t.Errorf("facts file should carry Stamp's wallclock summary, got: %s", factData)
+	}
+
+	// Unit 2: the simulation package, seeded with the dependency's fact
+	// file. detflow must flag the laundering call — knowledge it can only
+	// have via the .vetx round-trip, since vthelp's source is not in this
+	// unit.
+	probeCfg := vetConfig{
+		ID:         "repro/internal/vtprobe",
+		Compiler:   "gc",
+		ImportPath: "repro/internal/vtprobe",
+		GoFiles:    []string{filepath.Join(modDir, "internal/vtprobe/probe.go")},
+		ImportMap:  map[string]string{"repro/internal/bench/vthelp": "repro/internal/bench/vthelp"},
+		PackageFile: map[string]string{
+			"repro/internal/bench/vthelp": exports["repro/internal/bench/vthelp"],
+		},
+		PackageVetx: map[string]string{"repro/internal/bench/vthelp": helpVetx},
+		VetxOutput:  filepath.Join(work, "vtprobe.vetx"),
+	}
+	out, code = runUnit(t, bin, work, "vtprobe", probeCfg)
+	if code != 2 {
+		t.Fatalf("vtprobe unit should exit 2 on findings, got %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "detflow") || !strings.Contains(out, "vthelp.Stamp") || !strings.Contains(out, "time.Now") {
+		t.Errorf("expected a detflow laundering diagnostic naming vthelp.Stamp → time.Now, got:\n%s", out)
+	}
+	// The unit re-encodes inherited facts, so its own vetx keeps Stamp's
+	// summary flowing to indirect importers.
+	probeFacts, err := os.ReadFile(probeCfg.VetxOutput)
+	if err != nil {
+		t.Fatalf("vtprobe unit wrote no facts file despite diagnostics: %v", err)
+	}
+	if !strings.Contains(string(probeFacts), "Stamp") {
+		t.Errorf("inherited facts dropped from vtprobe.vetx: %s", probeFacts)
+	}
+
+	// Control: the same unit without PackageVetx seeding must pass clean —
+	// proving the verdict above came from the fact file, not source access.
+	probeCfg.PackageVetx = nil
+	probeCfg.VetxOutput = filepath.Join(work, "vtprobe-unseeded.vetx")
+	out, code = runUnit(t, bin, work, "vtprobe-unseeded", probeCfg)
+	if code != 0 {
+		t.Errorf("unseeded vtprobe unit should find nothing, exited %d:\n%s", code, out)
+	}
+}

@@ -1,22 +1,30 @@
 // Package analysis is a minimal, dependency-free reimplementation of the
 // golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
-// type-checked package through a Pass and reports Diagnostics.
+// type-checked package through a Pass and reports Diagnostics. Since
+// phantomlint v2 the framework is interprocedural: analyzers can declare
+// prerequisite analyzers (Requires) and exchange serializable Facts about
+// package-level objects and packages, propagated in dependency order by
+// the graph runner (graph.go) and across `go vet -vettool` compilation
+// units by the fact store's Encode/Decode (facts.go).
 //
-// The shapes (Analyzer, Pass, Diagnostic) deliberately mirror x/tools so
-// the phantomlint analyzers can be ported to the upstream framework by
-// swapping an import path once the module is allowed third-party
-// dependencies. Until then everything here builds on the standard
-// library's go/ast and go/types alone.
+// The shapes (Analyzer, Pass, Diagnostic, Fact) deliberately mirror
+// x/tools so the phantomlint analyzers can be ported to the upstream
+// framework by swapping an import path once the module is allowed
+// third-party dependencies. Until then everything here builds on the
+// standard library's go/ast and go/types alone.
 //
-// The suite exists to machine-check the reproduction's two load-bearing
-// conventions (see DESIGN.md §10):
+// The suite exists to machine-check the reproduction's load-bearing
+// conventions (see DESIGN.md §10 and §15):
 //
 //   - determinism: results are pure functions of (seed, config), so
 //     simulation code must never read the wall clock, the global math/rand
-//     stream, or emit output in map-iteration order;
+//     stream, or emit output in map-iteration order — directly or through
+//     any chain of helpers (the taint facts);
 //   - zero-tax tracing: obs.Trace emission goes through a handle captured
 //     at Instrument time and is nil/Enabled-guarded, so disabled tracing
-//     costs nothing on hot paths.
+//     costs nothing on hot paths;
+//   - bounded goroutine lifetimes: a spawned worker must not be able to
+//     outlive its spawner blocked on a channel nobody will drain.
 package analysis
 
 import (
@@ -36,8 +44,17 @@ type Analyzer struct {
 	Doc string
 	// Run inspects the package behind pass and reports findings through
 	// pass.Report. The interface{} result mirrors x/tools (analyzers there
-	// can return facts); phantomlint analyzers return nil.
+	// can return values consumed via Requires); phantomlint analyzers
+	// communicate through facts instead and return nil.
 	Run func(pass *Pass) (interface{}, error)
+	// Requires lists analyzers that must run on the same package first —
+	// typically fact producers whose summaries this analyzer consumes.
+	// The graph runner expands and orders the set automatically.
+	Requires []*Analyzer
+	// FactTypes declares the fact types this analyzer may export, as
+	// nil pointers of the concrete type (e.g. (*FuncTaint)(nil)). Only
+	// declared types can be serialized across vettool compilation units.
+	FactTypes []Fact
 }
 
 // Pass hands one type-checked package to an Analyzer.
@@ -50,11 +67,74 @@ type Pass struct {
 	// Report delivers one finding. The driver applies //lint:allow
 	// suppression before surfacing it.
 	Report func(Diagnostic)
+
+	store *Store
+	allow allowSet
 }
 
 // Reportf reports a finding at pos. It is the analyzers' usual entry point.
 func (p *Pass) Reportf(pos token.Pos, msg string) {
 	p.Report(Diagnostic{Pos: pos, Message: msg})
+}
+
+// Allowed reports whether a //lint:allow comment suppresses the named
+// analyzer at pos. Fact producers consult this to treat an explicitly
+// suppressed source as sanctioned — a justified //lint:allow is a taint
+// sanitizer, not just a silenced diagnostic, so suppressions don't
+// cascade findings onto every transitive caller.
+func (p *Pass) Allowed(analyzer string, pos token.Pos) bool {
+	if p.allow == nil {
+		return false
+	}
+	return p.allow.suppressed(analyzer, p.Fset.Position(pos))
+}
+
+// ExportObjectFact attaches f to obj, which must be a package-level
+// object (or method) of the package under analysis. The fact becomes
+// visible to analyzers of importing packages via ImportObjectFact.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if p.store == nil {
+		return
+	}
+	key, ok := ObjectKey(obj)
+	if !ok {
+		return // local objects cannot carry serializable facts
+	}
+	if obj.Pkg() == nil || obj.Pkg().Path() != p.Pkg.Path() {
+		panic("analysis: ExportObjectFact on object of another package")
+	}
+	p.store.export(p.Pkg.Path(), key, f)
+}
+
+// ImportObjectFact copies the fact of f's concrete type previously
+// exported on obj (by any analyzer, in this process or a dependency
+// compilation unit) into f, reporting whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	if p.store == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	key, ok := ObjectKey(obj)
+	if !ok {
+		return false
+	}
+	return p.store.lookup(obj.Pkg().Path(), key, f)
+}
+
+// ExportPackageFact attaches f to the package under analysis.
+func (p *Pass) ExportPackageFact(f Fact) {
+	if p.store == nil {
+		return
+	}
+	p.store.export(p.Pkg.Path(), "", f)
+}
+
+// ImportPackageFact copies the package fact of f's concrete type
+// previously exported on pkg into f, reporting whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, f Fact) bool {
+	if p.store == nil || pkg == nil {
+		return false
+	}
+	return p.store.lookup(pkg.Path(), "", f)
 }
 
 // Diagnostic is one finding: a position and a message.
@@ -70,6 +150,10 @@ type Finding struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Suppressed marks a finding silenced by a //lint:allow comment.
+	// Run and the text drivers drop suppressed findings; the -json
+	// output retains them flagged, so tooling can audit suppressions.
+	Suppressed bool
 }
 
 // Package is one loaded, type-checked package as produced by the load
@@ -82,37 +166,15 @@ type Package struct {
 	TypesInfo  *types.Info
 }
 
-// Run applies each analyzer to each package and returns the surviving
-// findings ordered by file, line, column, then analyzer name. Findings
-// suppressed by a //lint:allow comment (see suppress.go) are dropped here,
-// so every driver — phantomlint, the vettool mode, analysistest — shares
-// one suppression semantics.
+// Run applies each analyzer to each package in dependency order and
+// returns the surviving findings ordered by file, line, column, then
+// analyzer name. Findings suppressed by a //lint:allow comment (see
+// suppress.go) are dropped here, so every driver — phantomlint, the
+// vettool mode, analysistest — shares one suppression semantics. It is
+// the serial convenience form of RunGraph.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
-	var out []Finding
-	for _, pkg := range pkgs {
-		allow := collectAllows(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Pkg,
-				TypesInfo: pkg.TypesInfo,
-			}
-			pass.Report = func(d Diagnostic) {
-				posn := pkg.Fset.Position(d.Pos)
-				if allow.suppressed(a.Name, posn) {
-					return
-				}
-				out = append(out, Finding{Analyzer: a.Name, Pos: posn, Message: d.Message})
-			}
-			if _, err := a.Run(pass); err != nil {
-				return nil, err
-			}
-		}
-	}
-	sortFindings(out)
-	return out, nil
+	findings, _, err := RunGraph(pkgs, analyzers, GraphOptions{})
+	return findings, err
 }
 
 func sortFindings(fs []Finding) {

@@ -16,6 +16,14 @@
 // relative to testdata/src, which is what lets fixtures exercise
 // path-scoped analyzer behavior (e.g. simdeterminism's repro/internal/*
 // scope and its cmd/ allowlist).
+//
+// Interprocedural analyzers need more than one package: list every
+// fixture package in dependency order (imported packages first). All
+// listed packages are type-checked into one graph — a fixture may import
+// an earlier fixture by its testdata import path, or any real package the
+// module can resolve — and analyzed with analysis.RunGraph, so facts flow
+// from fixture dependencies into fixture dependents exactly as they do in
+// the production drivers.
 package analysistest
 
 import (
@@ -36,15 +44,65 @@ import (
 	"repro/internal/analysis/load"
 )
 
-// Run analyzes each fixture package under testdata/src and reports
-// mismatches between expected and actual findings as test errors.
+// Run analyzes the fixture packages under testdata/src — listed with
+// dependencies before dependents — and reports mismatches between
+// expected and actual findings as test errors.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "source", nil)
-	for _, path := range pkgPaths {
-		runOne(t, fset, imp, testdata, a, path)
+	imp := &fixtureImporter{
+		checked:  make(map[string]*types.Package),
+		fallback: importer.ForCompiler(fset, "source", nil),
 	}
+	var pkgs []*analysis.Package
+	var wants []*expectation
+	for _, path := range pkgPaths {
+		pkg, ws := loadFixture(t, fset, imp, testdata, path)
+		imp.checked[path] = pkg.Pkg
+		pkgs = append(pkgs, pkg)
+		wants = append(wants, ws...)
+	}
+
+	findings, _, err := analysis.RunGraph(pkgs, []*analysis.Analyzer{a}, analysis.GraphOptions{})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, f := range findings {
+		if f.Analyzer != a.Name {
+			continue // required fact producers may also report; only the analyzer under test is scored
+		}
+		if !claim(wants, f) {
+			t.Errorf("%s:%d: unexpected %s finding: %s", f.Pos.Filename, f.Pos.Line, a.Name, f.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// fixtureImporter resolves already-type-checked fixture packages first,
+// then falls back to the module's source importer for real packages.
+// That lets a fixture package import another fixture by its testdata
+// path even though no such directory exists in the module proper.
+type fixtureImporter struct {
+	checked  map[string]*types.Package
+	fallback types.Importer
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := fi.checked[path]; ok {
+		return pkg, nil
+	}
+	return fi.fallback.Import(path)
 }
 
 // expectation is one want-regexp and whether a finding consumed it.
@@ -56,7 +114,9 @@ type expectation struct {
 	matched bool
 }
 
-func runOne(t *testing.T, fset *token.FileSet, imp types.Importer, testdata string, a *analysis.Analyzer, pkgPath string) {
+// loadFixture parses and type-checks one fixture package, returning it
+// with the want-expectations harvested from its comments.
+func loadFixture(t *testing.T, fset *token.FileSet, imp types.Importer, testdata, pkgPath string) (*analysis.Package, []*expectation) {
 	t.Helper()
 	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
 	entries, err := os.ReadDir(dir)
@@ -91,29 +151,7 @@ func runOne(t *testing.T, fset *token.FileSet, imp types.Importer, testdata stri
 	if err != nil {
 		t.Fatalf("%s: type-checking fixture: %v", pkgPath, err)
 	}
-	pkg := &analysis.Package{ImportPath: pkgPath, Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info}
-
-	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
-	if err != nil {
-		t.Fatalf("%s: running %s: %v", pkgPath, a.Name, err)
-	}
-
-	for _, f := range findings {
-		if !claim(wants, f) {
-			t.Errorf("%s:%d: unexpected %s finding: %s", f.Pos.Filename, f.Pos.Line, a.Name, f.Message)
-		}
-	}
-	sort.Slice(wants, func(i, j int) bool {
-		if wants[i].file != wants[j].file {
-			return wants[i].file < wants[j].file
-		}
-		return wants[i].line < wants[j].line
-	})
-	for _, w := range wants {
-		if !w.matched {
-			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.raw)
-		}
-	}
+	return &analysis.Package{ImportPath: pkgPath, Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info}, wants
 }
 
 // claim marks the first unmatched expectation on the finding's line whose

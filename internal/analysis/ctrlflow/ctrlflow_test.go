@@ -1,0 +1,287 @@
+package ctrlflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parse builds the CFG of the first function declaration in src.
+func parse(t *testing.T, src string) (*Graph, *ast.FuncDecl) {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "t.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return New(fd.Body), fd
+		}
+	}
+	t.Fatal("no function in src")
+	return nil, nil
+}
+
+// findStmt locates the first statement of concrete type T in the body.
+func findStmt[T ast.Stmt](fd *ast.FuncDecl) T {
+	var out T
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if s, ok := n.(T); ok {
+			var zero T
+			if any(out) == any(zero) {
+				out = s
+			}
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// plain filters out compound head nodes: their Stmt holds the whole
+// for/if/switch/select subtree, but the nested statements execute on
+// their own nodes, so a predicate matching the head would credit every
+// path with work that only some paths perform.
+func plain(n *Node) bool {
+	switch n.Stmt.(type) {
+	case nil, *ast.ForStmt, *ast.RangeStmt, *ast.IfStmt,
+		*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return false
+	}
+	return true
+}
+
+// hitCall matches plain nodes whose statement contains a call to name.
+func hitCall(name string) func(*Node) bool {
+	return func(n *Node) bool {
+		if !plain(n) {
+			return false
+		}
+		found := false
+		ast.Inspect(n.Stmt, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+}
+
+func TestEveryPathHitsStraightLine(t *testing.T) {
+	g, fd := parse(t, `func f() { spawn(); drain() }`)
+	spawn := fd.Body.List[0]
+	if ok, _ := g.EveryPathHits(spawn, hitCall("drain")); !ok {
+		t.Error("drain on the only path not seen")
+	}
+}
+
+func TestEveryPathHitsEarlyReturn(t *testing.T) {
+	g, fd := parse(t, `
+func f(xs []int) error {
+	spawn()
+	for _, x := range xs {
+		if bad(x) {
+			return errOf(x)
+		}
+	}
+	drain()
+	return nil
+}`)
+	spawn := fd.Body.List[0]
+	ok, leak := g.EveryPathHits(spawn, hitCall("drain"))
+	if ok {
+		t.Fatal("early return path should miss drain")
+	}
+	if leak == nil || !leak.Return {
+		t.Errorf("leak should be a return node, got %+v", leak)
+	}
+}
+
+func TestLoopExitDistinctFromEntry(t *testing.T) {
+	// Entering the range is not completing it: an early return inside the
+	// body must not be covered by a hit defined as the loop's normal exit.
+	g, fd := parse(t, `
+func f(c chan int) error {
+	spawn()
+	for v := range c {
+		if bad(v) {
+			return errOf(v)
+		}
+	}
+	return nil
+}`)
+	spawn := fd.Body.List[0]
+	rng := findStmt[*ast.RangeStmt](fd)
+	hitExit := func(n *Node) bool { return n.LoopExit == ast.Stmt(rng) }
+	if ok, _ := g.EveryPathHits(spawn, hitExit); ok {
+		t.Error("return inside range body escaped without reaching the loop exit")
+	}
+	// Without the early return the only way out is the loop exit.
+	g2, fd2 := parse(t, `
+func f(c chan int) {
+	spawn()
+	for v := range c {
+		use(v)
+	}
+}`)
+	rng2 := findStmt[*ast.RangeStmt](fd2)
+	if ok, _ := g2.EveryPathHits(fd2.Body.List[0], func(n *Node) bool { return n.LoopExit == ast.Stmt(rng2) }); !ok {
+		t.Error("completed range should satisfy the loop-exit hit")
+	}
+}
+
+func TestBreakSkipsLoopBody(t *testing.T) {
+	g, fd := parse(t, `
+func f(n int) {
+	spawn()
+	for i := 0; i < n; i++ {
+		if done(i) {
+			break
+		}
+		drain()
+	}
+}`)
+	if ok, _ := g.EveryPathHits(fd.Body.List[0], hitCall("drain")); ok {
+		t.Error("break path and zero-iteration path both skip drain")
+	}
+}
+
+func TestSelectCommClausesAreNodes(t *testing.T) {
+	g, fd := parse(t, `
+func f(c, stop chan int) {
+	spawn()
+	select {
+	case v := <-c:
+		use(v)
+	case <-stop:
+	}
+}`)
+	// The <-stop path never executes use(v).
+	if ok, _ := g.EveryPathHits(fd.Body.List[0], hitCall("use")); ok {
+		t.Error("stop clause path should miss use")
+	}
+	// But every clause leads through its own comm statement; hitting
+	// either receive covers all paths only if both clauses receive.
+	recvAny := func(n *Node) bool {
+		if !plain(n) {
+			return false
+		}
+		found := false
+		ast.Inspect(n.Stmt, func(c ast.Node) bool {
+			if u, ok := c.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	if ok, _ := g.EveryPathHits(fd.Body.List[0], recvAny); !ok {
+		t.Error("both clauses receive; every path should hit a receive")
+	}
+}
+
+func TestSwitchWithoutDefaultFallsThrough(t *testing.T) {
+	g, fd := parse(t, `
+func f(x int) {
+	spawn()
+	switch x {
+	case 1:
+		drain()
+	}
+}`)
+	if ok, _ := g.EveryPathHits(fd.Body.List[0], hitCall("drain")); ok {
+		t.Error("the no-case path skips drain")
+	}
+	g2, fd2 := parse(t, `
+func f(x int) {
+	spawn()
+	switch x {
+	case 1:
+		drain()
+	default:
+		drain()
+	}
+}`)
+	if ok, _ := g2.EveryPathHits(fd2.Body.List[0], hitCall("drain")); !ok {
+		t.Error("every case drains; all paths should hit")
+	}
+}
+
+func TestPanicIsTerminal(t *testing.T) {
+	g, fd := parse(t, `
+func f(x int) {
+	spawn()
+	if bad(x) {
+		panic("no")
+	}
+	drain()
+}`)
+	if ok, _ := g.EveryPathHits(fd.Body.List[0], hitCall("drain")); !ok {
+		t.Error("the panic path never returns and needs no drain")
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	g, _ := parse(t, `
+func f() {
+	defer drain()
+	spawn()
+	go func() { defer inner() }()
+}`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("got %d defers, want 1 (literal bodies are separate graphs)", len(g.Defers))
+	}
+	if !strings.Contains(nodeText(g.Defers[0]), "drain") {
+		t.Errorf("wrong defer collected")
+	}
+}
+
+func nodeText(d *ast.DeferStmt) string {
+	if id, ok := d.Call.Fun.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func TestGotoIsUnsupported(t *testing.T) {
+	g, fd := parse(t, `
+func f() {
+	spawn()
+	goto out
+out:
+	return
+}`)
+	if !g.Unsupported {
+		t.Fatal("goto should mark the graph unsupported")
+	}
+	if ok, _ := g.EveryPathHits(fd.Body.List[0], func(*Node) bool { return false }); !ok {
+		t.Error("unsupported graphs must decline (report nothing)")
+	}
+}
+
+func TestLabeledBreakTargetsOuterLoop(t *testing.T) {
+	g, fd := parse(t, `
+func f(xs [][]int) {
+	spawn()
+outer:
+	for _, row := range xs {
+		for _, v := range row {
+			if bad(v) {
+				break outer
+			}
+		}
+	}
+	drain()
+}`)
+	if g.Unsupported {
+		t.Fatal("labeled break within scope should stay supported")
+	}
+	if ok, _ := g.EveryPathHits(fd.Body.List[0], hitCall("drain")); !ok {
+		t.Error("all paths — including the labeled break — flow into drain")
+	}
+}

@@ -1,0 +1,107 @@
+// Package detflow flags simulation code that reaches a nondeterminism
+// source *indirectly* — through any chain of helper calls, across
+// package boundaries — by consuming the per-function taint summaries the
+// taint analyzer exports as facts.
+//
+// simdeterminism catches `time.Now()` written in a sim package;
+// detflow catches `helper.Stamp()` where helper (three packages away,
+// possibly in an exempt subtree like the bench harness or a sanctioned
+// bridge's neighborhood) eventually calls time.Now. The motivating bug
+// is PR 7's ecdh GenerateKey: a single call that looked pure consumed a
+// scheduler-dependent number of bytes from the sim RNG two stdlib layers
+// down, forking every later draw — invisible to file-local lint, caught
+// weeks late by a determinism diff. With summaries, the call site itself
+// is the finding, with the full laundering chain in the message.
+//
+// Escapes: a justified `//lint:allow detflow -- reason` on the call site
+// both silences the finding and sanitizes the caller's own summary (the
+// justification covers transitive callers — see the taint package); a
+// function marked `//lint:bridge detflow -- reason` is a sanctioned
+// sim/wall-time bridge whose body detflow does not police.
+package detflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astq"
+	"repro/internal/analysis/simscope"
+	"repro/internal/analysis/taint"
+)
+
+// Analyzer is the detflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detflow",
+	Doc: "flag sim-package calls whose callee transitively reaches a nondeterminism " +
+		"source (wall clock, global/crypto rand, GenerateKey, map iteration order, " +
+		"goroutine completion order), using cross-package taint facts",
+	Requires: []*analysis.Analyzer{taint.Summaries},
+	Run:      run,
+}
+
+// consequence phrases each taint kind for the diagnostic.
+var consequence = map[taint.Kind]string{
+	taint.Wallclock:  "reads the wall clock",
+	taint.GlobalRand: "draws from the shared math/rand stream",
+	taint.CryptoRand: "draws process entropy",
+	taint.Keygen:     "consumes a scheduler-dependent number of reader bytes",
+	taint.MapIter:    "yields map-iteration order",
+	taint.GoOrder:    "resolves on goroutine completion order",
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !simscope.Sim(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	bridged := taint.Bridges(pass.Fset, pass.Files)
+	for _, file := range pass.Files {
+		if name := pass.Fset.Position(file.Pos()).Filename; strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if taint.IsBridged(pass.Fset, pass.Pkg.Path(), bridged, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := astq.CalleeFunc(pass.TypesInfo, call)
+				if callee == nil {
+					return true
+				}
+				var fact taint.FuncTaint
+				if !pass.ImportObjectFact(callee, &fact) {
+					return true
+				}
+				pass.Reportf(call.Pos(), message(callee, &fact))
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// message renders one diagnostic: every reached source kind with its
+// chain, e.g.
+//
+//	call to keyhelp.MakeKey consumes a scheduler-dependent number of
+//	reader bytes (keyhelp.MakeKey → keyhelp.newKey → ecdh.GenerateKey):
+//	sim results must stay pure in (seed, config)
+func message(callee *types.Func, fact *taint.FuncTaint) string {
+	name := taint.QualifiedName(callee)
+	parts := make([]string, len(fact.Sources))
+	for i, s := range fact.Sources {
+		parts[i] = fmt.Sprintf("%s (%s)", consequence[s.Kind], taint.ExtendChain(name, s.Chain))
+	}
+	return fmt.Sprintf("call to %s %s: sim results must stay pure in (seed, config)",
+		name, strings.Join(parts, "; "))
+}

@@ -1,0 +1,14 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detflow"
+)
+
+func TestDetflow(t *testing.T) {
+	analysistest.Run(t, "testdata", detflow.Analyzer,
+		"repro/internal/bench/keyhelp", // dependency first: its facts feed detfix
+		"repro/internal/detfix")
+}

@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// noteFact is the test fact type.
+type noteFact struct {
+	Note string `json:"note"`
+}
+
+func (*noteFact) AFact() {}
+
+// otherFact exercises multi-type keys.
+type otherFact struct {
+	N int `json:"n"`
+}
+
+func (*otherFact) AFact() {}
+
+// checkSrc type-checks one source string as a package, resolving imports
+// from deps.
+func checkSrc(t *testing.T, fset *token.FileSet, path, src string, deps map[string]*types.Package) *Package {
+	t.Helper()
+	f, err := parser.ParseFile(fset, strings.ReplaceAll(path, "/", "_")+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	conf := types.Config{Importer: mapImporter(deps)}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatalf("check %s: %v", path, err)
+	}
+	return &Package{ImportPath: path, Fset: fset, Files: []*ast.File{f}, Pkg: pkg}
+}
+
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m[path]; ok {
+		return pkg, nil
+	}
+	return nil, &importError{path}
+}
+
+type importError struct{ path string }
+
+func (e *importError) Error() string { return "no test package " + e.path }
+
+func TestObjectKey(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg := checkSrc(t, fset, "p", `
+package p
+
+func F() {}
+
+type T struct{}
+
+func (T) M() {}
+func (*T) PM() {}
+
+var V int
+
+func local() {
+	x := 1
+	_ = x
+}
+`, nil)
+	scope := pkg.Pkg.Scope()
+
+	if key, ok := ObjectKey(scope.Lookup("F")); !ok || key != "F" {
+		t.Errorf("F key = %q, %v", key, ok)
+	}
+	if key, ok := ObjectKey(scope.Lookup("V")); !ok || key != "V" {
+		t.Errorf("V key = %q, %v", key, ok)
+	}
+	tt := scope.Lookup("T").Type()
+	for _, m := range []string{"M", "PM"} {
+		obj, _, _ := types.LookupFieldOrMethod(tt, true, pkg.Pkg, m)
+		if key, ok := ObjectKey(obj); !ok || key != "T."+m {
+			t.Errorf("%s key = %q, %v, want T.%s", m, key, ok, m)
+		}
+	}
+	// Local objects have no stable key.
+	inner := scope.Lookup("local").(*types.Func).Scope().Lookup("x")
+	if _, ok := ObjectKey(inner); ok {
+		t.Error("local variable should not be keyable")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	a := &Analyzer{Name: "a", FactTypes: []Fact{(*noteFact)(nil), (*otherFact)(nil)}, Run: func(*Pass) (interface{}, error) { return nil, nil }}
+	s := NewStore([]*Analyzer{a})
+
+	s.export("p", "F", &noteFact{Note: "hello"})
+	s.export("p", "", &noteFact{Note: "pkg-level"})
+	s.export("p", "F", &otherFact{N: 7})
+
+	var nf noteFact
+	if !s.lookup("p", "F", &nf) || nf.Note != "hello" {
+		t.Errorf("object fact: got %+v", nf)
+	}
+	if !s.lookup("p", "", &nf) || nf.Note != "pkg-level" {
+		t.Errorf("package fact: got %+v", nf)
+	}
+	var of otherFact
+	if !s.lookup("p", "F", &of) || of.N != 7 {
+		t.Errorf("second type on same key: got %+v", of)
+	}
+	if s.lookup("p", "G", &nf) {
+		t.Error("lookup of absent object should fail")
+	}
+
+	// lookup must copy, not alias: mutating the result must not change
+	// the stored fact.
+	nf.Note = "mutated"
+	var nf2 noteFact
+	s.lookup("p", "F", &nf2)
+	if nf2.Note != "hello" {
+		t.Errorf("stored fact aliased by lookup: %q", nf2.Note)
+	}
+}
+
+func TestStoreEncodeDecode(t *testing.T) {
+	a := &Analyzer{Name: "a", FactTypes: []Fact{(*noteFact)(nil)}, Run: func(*Pass) (interface{}, error) { return nil, nil }}
+	s := NewStore([]*Analyzer{a})
+	s.export("dep", "F", &noteFact{Note: "from dep"})
+	s.export("dep", "", &noteFact{Note: "dep pkg"})
+
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte determinism: encoding twice gives identical bytes.
+	data2, _ := s.Encode()
+	if !bytes.Equal(data, data2) {
+		t.Error("Encode is not deterministic")
+	}
+
+	s2 := NewStore([]*Analyzer{a})
+	if err := s2.Decode(data); err != nil {
+		t.Fatal(err)
+	}
+	var nf noteFact
+	if !s2.lookup("dep", "F", &nf) || nf.Note != "from dep" {
+		t.Errorf("decoded object fact: %+v", nf)
+	}
+	if !s2.lookup("dep", "", &nf) || nf.Note != "dep pkg" {
+		t.Errorf("decoded package fact: %+v", nf)
+	}
+
+	// Inherited facts are re-encoded so they flow through indirect
+	// dependencies: decode dep facts, add own, encode — both present.
+	s2.export("mid", "G", &noteFact{Note: "own"})
+	data3, _ := s2.Encode()
+	s3 := NewStore([]*Analyzer{a})
+	if err := s3.Decode(data3); err != nil {
+		t.Fatal(err)
+	}
+	if !s3.lookup("dep", "F", &nf) {
+		t.Error("inherited fact dropped on re-encode")
+	}
+	if !s3.lookup("mid", "G", &nf) {
+		t.Error("own fact missing after re-encode")
+	}
+}
+
+func TestStoreDecodeEdgeCases(t *testing.T) {
+	a := &Analyzer{Name: "a", FactTypes: []Fact{(*noteFact)(nil)}, Run: func(*Pass) (interface{}, error) { return nil, nil }}
+	s := NewStore([]*Analyzer{a})
+
+	if err := s.Decode(nil); err != nil {
+		t.Errorf("empty data should be a no-op, got %v", err)
+	}
+	if err := s.Decode([]byte(`{"version":99,"facts":[]}`)); err == nil {
+		t.Error("version mismatch should error")
+	}
+	// Unknown fact types are skipped, known ones still land.
+	doc := `{"version":1,"facts":[
+		{"pkg":"p","obj":"F","type":"future.UnknownFact","data":{"x":1}},
+		{"pkg":"p","obj":"F","type":"repro/internal/analysis.noteFact","data":{"note":"kept"}}]}`
+	if err := s.Decode([]byte(doc)); err != nil {
+		t.Fatalf("decode with unknown type: %v", err)
+	}
+	var nf noteFact
+	if !s.lookup("p", "F", &nf) || nf.Note != "kept" {
+		t.Errorf("known fact alongside unknown: %+v", nf)
+	}
+}
+
+func TestExportObjectFactOwnership(t *testing.T) {
+	fset := token.NewFileSet()
+	dep := checkSrc(t, fset, "dep", `package dep; func F() {}`, nil)
+	top := checkSrc(t, fset, "top", `package top; import "dep"; func G() { dep.F() }`, map[string]*types.Package{"dep": dep.Pkg})
+
+	a := &Analyzer{Name: "a", FactTypes: []Fact{(*noteFact)(nil)}, Run: func(*Pass) (interface{}, error) { return nil, nil }}
+	store := NewStore([]*Analyzer{a})
+	pass := &Pass{Analyzer: a, Fset: fset, Pkg: top.Pkg, store: store}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("exporting a fact on another package's object should panic")
+		}
+	}()
+	pass.ExportObjectFact(dep.Pkg.Scope().Lookup("F"), &noteFact{Note: "nope"})
+}

@@ -1,0 +1,541 @@
+// Package goroutineguard flags goroutine launches in simulation packages
+// whose exit is not tied to anything — no stop channel, no context, no
+// draining receiver on every return path of the spawner. The motivating
+// bug is PR 9's collect loop: workers performed a bare send on an
+// unbuffered results channel while the collector could return early on a
+// checkpoint error, leaving every in-flight worker blocked on its send
+// for the life of the process. One goroutine per failed campaign, forever.
+//
+// The check is deliberately structural, not a whole-program escape
+// analysis. A launch is hazardous when ALL of the following hold:
+//
+//   - the goroutine body (a function literal, or a same-package function
+//     with its channel arguments mapped to parameters) performs a bare
+//     send — a send statement that is not the comm clause of a
+//     multi-clause select — on some channel C;
+//   - C is local to the spawning function: created there by make(chan T)
+//     with no buffer (or buffer 0) and never escaping it (not returned,
+//     not stored, not passed to anything but the spawn calls themselves
+//     and close/len/cap);
+//   - the spawner does NOT consume C on every control-flow path from the
+//     launch statement to a return: consuming means a receive <-C, a
+//     `for range C` loop running to completion (reaching its synthetic
+//     loop-exit node, not merely being entered), or a deferred receive.
+//
+// Each escape hatch is a real synchronization story: a select with a
+// stop/context case gives the goroutine its own exit; a buffer bounds
+// the block; an escaping channel has receivers this function cannot see;
+// a drain on every path empties the channel before the spawner leaves.
+// Separately, a goroutine body that runs `for { ... }` with no return,
+// break, or terminal call is flagged as unbounded: nothing ever ends it.
+package goroutineguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astq"
+	"repro/internal/analysis/ctrlflow"
+	"repro/internal/analysis/simscope"
+)
+
+// Analyzer is the goroutineguard check.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutineguard",
+	Doc: "flag goroutine launches whose exit is untied: bare sends on unbuffered " +
+		"function-local channels not drained on every return path of the spawner, " +
+		"and unbounded for-loops with no exit",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !simscope.Sim(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	// Same-package function declarations, for go foo(ch) spawns.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		if name := pass.Fset.Position(file.Pos()).Filename; strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Every function body is a spawner unit of its own: the decl's,
+			// and each nested literal's (a worker literal may itself spawn).
+			for _, unit := range units(fd.Body) {
+				checkUnit(pass, decls, unit)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// units lists body plus every function-literal body nested inside it.
+func units(body *ast.BlockStmt) []*ast.BlockStmt {
+	out := []*ast.BlockStmt{body}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, lit.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// checkUnit analyzes one spawner body: every go statement directly inside
+// it (not inside nested literals, which are their own units).
+func checkUnit(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, unit *ast.BlockStmt) {
+	spawns := directGoStmts(unit)
+	if len(spawns) == 0 {
+		return
+	}
+	var cfg *ctrlflow.Graph // built lazily: most spawns have no hazard
+	for _, g := range spawns {
+		if pass.Allowed("goroutineguard", g.Pos()) {
+			continue
+		}
+		body, params := goroutineBody(pass.TypesInfo, decls, g)
+		if body == nil {
+			continue // dynamic call or foreign function: nothing to inspect
+		}
+		if loop := unboundedLoop(body); loop != nil {
+			pass.Reportf(g.Pos(), "goroutine can leak: body runs an unbounded for-loop with no return, break, or terminal call; tie its exit to a stop channel, context, or bounded work")
+			continue
+		}
+		reported := make(map[types.Object]bool)
+		for _, ch := range bareSendChans(pass.TypesInfo, body, params) {
+			if reported[ch] {
+				continue
+			}
+			info := classifyChan(pass, unit, spawns, ch)
+			if !info.local || !info.unbuffered || info.escapes {
+				continue
+			}
+			if drainedByDefer(pass.TypesInfo, unit, ch) {
+				continue
+			}
+			if cfg == nil {
+				cfg = ctrlflow.New(unit)
+			}
+			ok, _ := cfg.EveryPathHits(g, func(n *ctrlflow.Node) bool {
+				return drains(pass.TypesInfo, n, ch)
+			})
+			if ok {
+				continue
+			}
+			reported[ch] = true
+			pass.Reportf(g.Pos(), fmt.Sprintf("goroutine can leak: bare send on unbuffered local channel %q is not received on every return path of the spawner; select the send against a stop channel or context, or drain before returning", ch.Name()))
+		}
+	}
+}
+
+// directGoStmts collects go statements in unit, excluding nested literals.
+func directGoStmts(unit *ast.BlockStmt) []*ast.GoStmt {
+	var out []*ast.GoStmt
+	for _, s := range unit.List {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if g, ok := n.(*ast.GoStmt); ok {
+				out = append(out, g)
+				// Still descend: the spawn's literal is cut by the FuncLit
+				// case above, but go f(g()) arguments could nest further.
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// goroutineBody resolves what the goroutine will run: a literal's body,
+// or a same-package function's body with channel arguments mapped onto
+// parameters (params[calleeParam] = spawner-side object).
+func goroutineBody(info *types.Info, decls map[types.Object]*ast.FuncDecl, g *ast.GoStmt) (*ast.BlockStmt, map[types.Object]types.Object) {
+	call := g.Call
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, mapParams(info, lit.Type, call.Args)
+	}
+	callee := astq.CalleeFunc(info, call)
+	if callee == nil {
+		return nil, nil
+	}
+	fd := decls[callee]
+	if fd == nil {
+		return nil, nil
+	}
+	return fd.Body, mapParams(info, fd.Type, call.Args)
+}
+
+// mapParams pairs identifier arguments with the parameters receiving
+// them. Variadic parameters are skipped: position no longer maps 1:1.
+func mapParams(info *types.Info, ft *ast.FuncType, args []ast.Expr) map[types.Object]types.Object {
+	m := make(map[types.Object]types.Object)
+	if ft.Params == nil {
+		return m
+	}
+	i := 0
+	for _, field := range ft.Params.List {
+		if _, variadic := field.Type.(*ast.Ellipsis); variadic {
+			break
+		}
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			if i >= len(args) {
+				return m
+			}
+			if id, ok := ast.Unparen(args[i]).(*ast.Ident); ok {
+				if pobj, aobj := info.Defs[name], info.Uses[id]; pobj != nil && aobj != nil {
+					m[pobj] = aobj
+				}
+			}
+			i++
+		}
+	}
+	return m
+}
+
+// bareSendChans returns the spawner-side channel objects that the
+// goroutine body bare-sends on: send statements outside any multi-clause
+// select (a single-clause select is just a dressed-up blocking send;
+// two or more clauses — including default — give the send an exit).
+// Nested literals are excluded; they are separate spawner units.
+func bareSendChans(info *types.Info, body *ast.BlockStmt, params map[types.Object]types.Object) []types.Object {
+	var out []types.Object
+	astq.WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		// Stack shape for a comm-clause send: ... SelectStmt, BlockStmt
+		// (the select's body), CommClause, SendStmt.
+		if len(stack) >= 3 {
+			if cc, ok := stack[len(stack)-1].(*ast.CommClause); ok && cc.Comm == send {
+				if sel, ok := stack[len(stack)-3].(*ast.SelectStmt); ok && len(sel.Body.List) >= 2 {
+					return true
+				}
+			}
+		}
+		id, ok := ast.Unparen(send.Chan).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if spawner, ok := params[obj]; ok {
+			obj = spawner
+		}
+		out = append(out, obj)
+		return true
+	})
+	return out
+}
+
+// chanClass is what the spawner knows about a channel variable.
+type chanClass struct {
+	local      bool // defined by make() inside the spawner unit
+	unbuffered bool
+	escapes    bool // leaves the spawner by any route other than the spawns
+}
+
+// classifyChan inspects every use of ch inside the spawner unit. Any use
+// we cannot prove harmless counts as an escape — the false-positive-free
+// direction: an escaped channel may have receivers elsewhere, so we stay
+// silent.
+func classifyChan(pass *analysis.Pass, unit *ast.BlockStmt, spawns []*ast.GoStmt, ch types.Object) chanClass {
+	if ch.Pos() < unit.Pos() || ch.Pos() >= unit.End() {
+		return chanClass{} // parameter or outer-scope variable: not local
+	}
+	spawnCalls := make(map[*ast.CallExpr]bool, len(spawns))
+	for _, g := range spawns {
+		spawnCalls[g.Call] = true
+	}
+	info := pass.TypesInfo
+	var c chanClass
+	astq.WalkStack(unit, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if info.Defs[id] == ch {
+			if mk := makeExprFor(stack, id); mk != nil {
+				c.local = true
+				c.unbuffered = isUnbuffered(info, mk)
+			} else {
+				c.escapes = true // declared without a visible make: unknown
+			}
+			return true
+		}
+		if info.Uses[id] != ch {
+			return true
+		}
+		if !harmlessUse(info, stack, id, spawnCalls) {
+			c.escapes = true
+		}
+		return true
+	})
+	return c
+}
+
+// makeExprFor returns the make(...) call initializing the channel when
+// id is the left-hand side of `ch := make(...)` or `var ch = make(...)`.
+func makeExprFor(stack []ast.Node, id *ast.Ident) *ast.CallExpr {
+	if len(stack) == 0 {
+		return nil
+	}
+	switch p := stack[len(stack)-1].(type) {
+	case *ast.AssignStmt:
+		if p.Tok != token.DEFINE || len(p.Lhs) != len(p.Rhs) {
+			return nil
+		}
+		for i, lhs := range p.Lhs {
+			if lhs == id {
+				return asMake(p.Rhs[i])
+			}
+		}
+	case *ast.ValueSpec:
+		for i, name := range p.Names {
+			if name == id && i < len(p.Values) {
+				return asMake(p.Values[i])
+			}
+		}
+	}
+	return nil
+}
+
+func asMake(e ast.Expr) *ast.CallExpr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "make" {
+		return call
+	}
+	return nil
+}
+
+// isUnbuffered: make(chan T) or make(chan T, 0). A non-constant buffer
+// size reads as buffered — we cannot prove the block, so we stay silent.
+func isUnbuffered(info *types.Info, mk *ast.CallExpr) bool {
+	if len(mk.Args) < 2 {
+		return true
+	}
+	tv, ok := info.Types[mk.Args[1]]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+}
+
+// harmlessUse reports whether this occurrence of the channel keeps it
+// inside the spawner's synchronization story.
+func harmlessUse(info *types.Info, stack []ast.Node, id *ast.Ident, spawnCalls map[*ast.CallExpr]bool) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch p := stack[len(stack)-1].(type) {
+	case *ast.SendStmt:
+		return p.Chan == id // sending the channel itself escapes it
+	case *ast.UnaryExpr:
+		return p.Op == token.ARROW
+	case *ast.RangeStmt:
+		return p.X == id
+	case *ast.BinaryExpr:
+		return true // ch == nil comparisons
+	case *ast.CallExpr:
+		if spawnCalls[p] {
+			return true // handed to a spawn we analyze via param mapping
+		}
+		if fn, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+			switch fn.Name {
+			case "close", "len", "cap":
+				if _, isBuiltin := info.Uses[fn].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// drainedByDefer reports whether the unit defers a literal that receives
+// from ch — `defer func() { <-ch }()` — a drain that runs on every
+// return path by construction, no graph walk needed. (A receive in the
+// defer's *arguments* evaluates at the defer statement, not at exit;
+// that case is an ordinary statement receive the CFG walk already sees.)
+func drainedByDefer(info *types.Info, unit *ast.BlockStmt, ch types.Object) bool {
+	found := false
+	ast.Inspect(unit, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // defers of nested spawner units are theirs
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok && stmtMentionsRecv(info, lit.Body, ch) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// drains reports whether the CFG node consumes from ch: a statement
+// containing a receive <-ch, or the synthetic exit of a `for range ch`
+// loop (entering the loop receives one value; only completing it drains).
+// Compound statements are CFG head nodes whose bodies hang off separate
+// nodes, so only their header expressions count — a receive buried in a
+// loop body must earn its hit on the path that actually executes it.
+func drains(info *types.Info, n *ctrlflow.Node, ch types.Object) bool {
+	if n.LoopExit != nil {
+		if rs, ok := n.LoopExit.(*ast.RangeStmt); ok {
+			if id, ok := ast.Unparen(rs.X).(*ast.Ident); ok && info.Uses[id] == ch {
+				return true
+			}
+		}
+	}
+	switch s := n.Stmt.(type) {
+	case nil:
+		return false
+	case *ast.ForStmt:
+		return nodeRecvs(info, s.Init, ch) || nodeRecvs(info, s.Cond, ch)
+	case *ast.RangeStmt:
+		return false // the head node: entered, not completed
+	case *ast.IfStmt:
+		return nodeRecvs(info, s.Init, ch) || nodeRecvs(info, s.Cond, ch)
+	case *ast.SwitchStmt:
+		return nodeRecvs(info, s.Init, ch) || nodeRecvs(info, s.Tag, ch)
+	case *ast.TypeSwitchStmt:
+		return nodeRecvs(info, s.Init, ch)
+	case *ast.SelectStmt:
+		return false // comm clauses are their own nodes
+	default:
+		return stmtMentionsRecv(info, n.Stmt, ch)
+	}
+}
+
+// nodeRecvs is stmtMentionsRecv tolerating nil header parts.
+func nodeRecvs(info *types.Info, n ast.Node, ch types.Object) bool {
+	if n == nil {
+		return false
+	}
+	return stmtMentionsRecv(info, n, ch)
+}
+
+// stmtMentionsRecv looks for <-ch inside stmt, not descending into
+// nested function literals (a receive inside another goroutine is that
+// goroutine's business, not a drain on this path).
+func stmtMentionsRecv(info *types.Info, stmt ast.Node, ch types.Object) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		u, ok := n.(*ast.UnaryExpr)
+		if !ok || u.Op != token.ARROW {
+			return true
+		}
+		if id, ok := ast.Unparen(u.X).(*ast.Ident); ok && info.Uses[id] == ch {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// unboundedLoop finds a `for { ... }` in the goroutine body (outside
+// nested literals) whose body contains no return, break, goto, or
+// terminal call — nothing ever ends it.
+func unboundedLoop(body *ast.BlockStmt) *ast.ForStmt {
+	var hit *ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		f, ok := n.(*ast.ForStmt)
+		if !ok || f.Cond != nil {
+			return true
+		}
+		if !hasExit(f.Body) {
+			hit = f
+			return false
+		}
+		return true
+	})
+	return hit
+}
+
+// hasExit reports whether the loop body can leave the loop: a return,
+// break, goto, or a call that never returns. Nested for/range loops may
+// own their breaks, but resolving break targets here buys little —
+// treating any break as an exit only errs toward silence.
+func hasExit(body *ast.BlockStmt) bool {
+	exit := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if exit {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			exit = true
+		case *ast.BranchStmt:
+			if tok := n.Tok.String(); tok == "break" || tok == "goto" {
+				exit = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				exit = true
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if pkg, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					switch pkg.Name + "." + sel.Sel.Name {
+					case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+						exit = true
+					}
+				}
+			}
+		}
+		return !exit
+	})
+	return exit
+}

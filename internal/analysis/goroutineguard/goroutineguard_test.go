@@ -1,0 +1,12 @@
+package goroutineguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/goroutineguard"
+)
+
+func TestGoroutineGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", goroutineguard.Analyzer, "repro/internal/gofix")
+}

@@ -24,6 +24,8 @@ import (
 	"io"
 	"os/exec"
 	"path/filepath"
+	"runtime"
+	"sync"
 
 	"repro/internal/analysis"
 )
@@ -50,19 +52,59 @@ func Packages(dir string, patterns ...string) ([]*analysis.Package, error) {
 	}
 
 	fset := token.NewFileSet()
+
+	// Parsing is embarrassingly parallel (token.FileSet serializes its own
+	// file registration); type-checking stays serial below because the
+	// shared source importer is not safe for concurrent use.
+	var withFiles []listedPackage
+	for _, lp := range listed {
+		if len(lp.GoFiles) > 0 {
+			withFiles = append(withFiles, lp)
+		}
+	}
+	parsed := make([][]*ast.File, len(withFiles))
+	errs := make([]error, len(withFiles))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, lp := range withFiles {
+		wg.Add(1)
+		go func(i int, lp listedPackage) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			parsed[i], errs[i] = parsePackage(fset, lp)
+		}(i, lp)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	imp := importer.ForCompiler(fset, "source", nil)
 	var pkgs []*analysis.Package
-	for _, lp := range listed {
-		if len(lp.GoFiles) == 0 {
-			continue
-		}
-		pkg, err := check(fset, imp, lp)
+	for i, lp := range withFiles {
+		pkg, err := check(fset, imp, lp, parsed[i])
 		if err != nil {
 			return nil, err
 		}
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// parsePackage parses one listed package's non-test files.
+func parsePackage(fset *token.FileSet, lp listedPackage) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
 }
 
 func goList(dir string, patterns []string) ([]listedPackage, error) {
@@ -90,17 +132,8 @@ func goList(dir string, patterns []string) ([]listedPackage, error) {
 	return out, nil
 }
 
-// check parses and type-checks one listed package against the shared
-// importer.
-func check(fset *token.FileSet, imp types.Importer, lp listedPackage) (*analysis.Package, error) {
-	var files []*ast.File
-	for _, name := range lp.GoFiles {
-		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, fmt.Errorf("load: %v", err)
-		}
-		files = append(files, f)
-	}
+// check type-checks one parsed package against the shared importer.
+func check(fset *token.FileSet, imp types.Importer, lp listedPackage, files []*ast.File) (*analysis.Package, error) {
 	info := NewInfo()
 	conf := types.Config{Importer: imp}
 	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)

@@ -11,11 +11,21 @@
 // repro/internal/* simulation packages, any reference to a wall-clock
 // time function or a global math/rand function is a finding.
 //
+// Since phantomlint v2 the analyzer also consumes the taint package's
+// cross-package summaries: a *value reference* to any function whose call
+// tree reaches a nondeterminism source — storing it in a hook field,
+// passing it as a callback — is a finding too. Calls are detflow's
+// domain (it renders the chain at the call site); references would
+// otherwise smuggle a tainted callable past every call-site check and
+// fire it later under a clean-looking name.
+//
 // Out of scope by design (the allowlist): cmd/* and examples/* (CLI
-// progress meters legitimately read real time), repro/internal/bench
-// (wall-clock benchmarking harness), repro/internal/analysis/* (the
-// linter itself), and _test.go files (tests may use real timeouts; the
-// standalone driver does not load them at all).
+// progress meters legitimately read real time; they are outside
+// repro/internal/ by construction), repro/internal/bench (wall-clock
+// benchmarking harness), repro/internal/analysis/* (the linter itself),
+// and _test.go files (tests may use real timeouts; the standalone driver
+// does not load them at all). The scope test lives in simscope, shared
+// with detflow and goroutineguard.
 package simdeterminism
 
 import (
@@ -25,6 +35,8 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/simscope"
+	"repro/internal/analysis/taint"
 )
 
 // Analyzer is the simdeterminism check.
@@ -32,78 +44,21 @@ var Analyzer = &analysis.Analyzer{
 	Name: "simdeterminism",
 	Doc: "ban wall-clock time and global math/rand in simulation packages; " +
 		"route time through simtime.Clock and randomness through a seeded source",
-	Run: run,
+	Requires: []*analysis.Analyzer{taint.Summaries},
+	Run:      run,
 }
 
-// wallClockFuncs are package time functions that read or wait on the real
-// clock. Referencing one from simulation code (even without calling it)
-// is a finding. time.Since/Until are included: both call time.Now.
-var wallClockFuncs = map[string]bool{
-	"Now":       true,
-	"Sleep":     true,
-	"After":     true,
-	"AfterFunc": true,
-	"NewTimer":  true,
-	"NewTicker": true,
-	"Tick":      true,
-	"Since":     true,
-	"Until":     true,
-}
-
-// globalRandFuncs are the package-level math/rand (and math/rand/v2)
-// functions that draw from the shared global stream. Constructors
-// (New, NewSource, NewPCG, NewChaCha8, NewZipf) and methods on an
-// explicit *rand.Rand are fine — those are exactly what seeded simulation
-// randomness uses.
-var globalRandFuncs = map[string]bool{
-	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
-	"Int32": true, "Int32N": true, "Int63": true, "Int63n": true,
-	"Int64": true, "Int64N": true, "IntN": true, "N": true,
-	"Uint": true, "Uint32": true, "Uint32N": true, "Uint64": true,
-	"Uint64N": true, "UintN": true,
-	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
-	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
-}
-
-// cryptoKeygenPkgs are crypto packages whose GenerateKey draws a
-// scheduler-dependent number of bytes from the caller's io.Reader:
-// randutil.MaybeReadByte consumes one extra byte on a runtime coin-flip,
-// so a deterministic reader no longer yields deterministic keys — and
-// every later draw from the same source shifts with it. Key and record
-// content stays invisible to timing until something (the replay attack)
-// re-issues captured bytes as data, which is how this surfaced: build
-// keys from explicitly drawn bytes (ecdh.Curve.NewPrivateKey) instead.
-var cryptoKeygenPkgs = map[string]bool{
-	"crypto/ecdh":  true,
-	"crypto/ecdsa": true,
-	"crypto/rsa":   true,
-	"crypto/dsa":   true,
-}
-
-// allowedPrefixes exempt whole package subtrees from the check.
-var allowedPrefixes = []string{
-	"repro/cmd/",
-	"repro/examples/",
-	"repro/internal/bench",
-	"repro/internal/analysis",
-}
-
-// scoped reports whether the analyzer applies to the package at path.
-func scoped(path string) bool {
-	if !strings.HasPrefix(path, "repro/internal/") {
-		return false
-	}
-	for _, p := range allowedPrefixes {
-		if path == strings.TrimSuffix(p, "/") || strings.HasPrefix(path, p) ||
-			strings.HasPrefix(path, p+"/") {
-			return false
-		}
-	}
-	return true
-}
+// The root tables moved to the taint package in v2 so the direct check
+// here and the summary computation there can never disagree on what a
+// source is; these aliases keep this package's vocabulary.
+var (
+	wallClockFuncs   = taint.WallClockFuncs
+	globalRandFuncs  = taint.GlobalRandFuncs
+	cryptoKeygenPkgs = taint.CryptoKeygenPkgs
+)
 
 func run(pass *analysis.Pass) (interface{}, error) {
-	if !scoped(pass.Pkg.Path()) {
+	if !simscope.Sim(pass.Pkg.Path()) {
 		return nil, nil
 	}
 	for _, f := range pass.Files {
@@ -153,6 +108,51 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			}
 			return true
 		})
+		reportTaintedRefs(pass, f)
 	}
 	return nil, nil
+}
+
+// reportTaintedRefs flags value references (non-call uses) of functions
+// carrying a taint summary. The called case is deliberately left to
+// detflow; this check exists so `hooks.onTick = helper.Stamp` is caught
+// at the assignment instead of wherever the hook eventually fires.
+func reportTaintedRefs(pass *analysis.Pass, f *ast.File) {
+	// Collect the identifiers in call position: f(...) and pkg.f(...).
+	called := make(map[*ast.Ident]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			called[fun] = true
+		case *ast.SelectorExpr:
+			called[fun.Sel] = true
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || called[id] {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+		if !ok {
+			return true
+		}
+		var fact taint.FuncTaint
+		if !pass.ImportObjectFact(fn, &fact) {
+			return true
+		}
+		kinds := make([]string, len(fact.Sources))
+		for i, s := range fact.Sources {
+			kinds[i] = string(s.Kind)
+		}
+		pass.Reportf(id.Pos(), fmt.Sprintf(
+			"reference to %s smuggles nondeterminism (%s) past the call-site checks: %s; pass a seeded/simtime-backed implementation instead",
+			taint.QualifiedName(fn), strings.Join(kinds, ", "), fact.Sources[0].Chain))
+		return true
+	})
 }

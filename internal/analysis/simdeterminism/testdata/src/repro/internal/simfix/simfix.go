@@ -10,6 +10,8 @@ import (
 	"io"
 	"math/rand"
 	"time"
+
+	"repro/internal/bench/twrap"
 )
 
 // Bad: every wall-clock read or wait is a finding.
@@ -66,4 +68,14 @@ func suppressedSameLine() time.Time {
 func wrongSuppression() time.Time {
 	//lint:allow maporder -- names the wrong analyzer
 	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// Bad: storing a tainted callable smuggles the wall clock past every
+// call-site check; the summary fact travels from the exempt bench
+// subtree to this reference.
+var tickHook = twrap.Tick // want `reference to twrap\.Tick smuggles nondeterminism \(wallclock\) past the call-site checks: time\.Now`
+
+// Calling it is detflow's finding (with the chain), not simdeterminism's.
+func callTick() int64 {
+	return twrap.Tick()
 }

@@ -1,0 +1,11 @@
+// Package netprobe links real networking from the exempt bench subtree —
+// no finding here, but the NetFact it exports is what flags everyone who
+// imports it from simulation code.
+package netprobe
+
+import "net"
+
+// Listen opens a real socket.
+func Listen() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}

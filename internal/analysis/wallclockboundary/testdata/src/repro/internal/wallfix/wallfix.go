@@ -12,6 +12,10 @@ import (
 
 	_ "repro/internal/obs/serve" // want `import repro/internal/obs/serve crosses the sim/wall-clock boundary`
 
+	// Transitive: netprobe itself is exempt (bench), but its NetFact
+	// travels to every sim importer.
+	_ "repro/internal/bench/netprobe" // want `import repro/internal/bench/netprobe transitively links the wall-clock side \(repro/internal/bench/netprobe → net\)`
+
 	//lint:allow wallclockboundary -- fixture demonstrates suppression
 	_ "net/http/pprof"
 )
